@@ -1,0 +1,203 @@
+// Command benchharness regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables.
+//
+// Usage:
+//
+//	benchharness [-exp all|fig1a,fig1b,tab4,tab5,tab7,tab8,tab9..tab16,fig2]
+//	             [-runs 10] [-episodes 0] [-seed 1] [-quick]
+//
+// -quick trades fidelity for speed (3 runs, 150 episodes); the default
+// reproduces the paper's 10-run averages at the Table III episode counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/rlplanner/rlplanner/internal/experiments"
+	"github.com/rlplanner/rlplanner/internal/plot"
+	"github.com/rlplanner/rlplanner/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		runs     = flag.Int("runs", 10, "runs to average (the paper uses 10)")
+		episodes = flag.Int("episodes", 0, "override N for every learner (0 = Table III defaults)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		quick    = flag.Bool("quick", false, "fast mode: 3 runs, 150 episodes")
+		charts   = flag.Bool("charts", false, "render Figures 1 and 2 as text charts too")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Runs: *runs, BaseSeed: *seed, Episodes: *episodes}
+	if *quick {
+		cfg.Runs, cfg.Episodes = 3, 150
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	run := func(id string, fn func() error) {
+		if !all && !want[id] {
+			return
+		}
+		ran++
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	render := func(t *stats.Table) error { return t.Render(os.Stdout) }
+
+	fig1Chart := func(rows []experiments.Fig1Row, title string) error {
+		if !*charts {
+			return nil
+		}
+		labels := make([]string, len(rows))
+		rl, om, ed, gd := make([]float64, len(rows)), make([]float64, len(rows)),
+			make([]float64, len(rows)), make([]float64, len(rows))
+		for i, r := range rows {
+			labels[i] = r.Instance
+			rl[i], om[i], ed[i], gd[i] = r.RLAvgSim, r.Omega, r.EDA, r.Gold
+		}
+		fmt.Println()
+		return plot.Bars(os.Stdout, title+" (chart)", labels, []plot.Series{
+			{Name: "RL-Planner", Values: rl},
+			{Name: "OMEGA", Values: om},
+			{Name: "EDA", Values: ed},
+			{Name: "Gold", Values: gd},
+		}, 40)
+	}
+
+	run("fig1a", func() error {
+		rows, err := experiments.Fig1Courses(cfg)
+		if err != nil {
+			return err
+		}
+		if err := render(experiments.Fig1Table(rows, "Fig 1(a): course planning — avg score over runs")); err != nil {
+			return err
+		}
+		return fig1Chart(rows, "Fig 1(a)")
+	})
+	run("fig1b", func() error {
+		rows, err := experiments.Fig1Trips(cfg)
+		if err != nil {
+			return err
+		}
+		if err := render(experiments.Fig1Table(rows, "Fig 1(b): trip planning — avg score over runs")); err != nil {
+			return err
+		}
+		return fig1Chart(rows, "Fig 1(b)")
+	})
+	run("tab4", func() error {
+		r, err := experiments.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		return render(experiments.Table4Table(r))
+	})
+	run("tab5", func() error {
+		cases, err := experiments.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		return render(experiments.TransferTable(cases,
+			"Table V: transfer learning between M.S. CS and M.S. DS-CT"))
+	})
+	run("tab7", func() error {
+		cases, err := experiments.Table7(cfg)
+		if err != nil {
+			return err
+		}
+		return render(experiments.TransferTable(cases,
+			"Table VII: transfer learning between NYC and Paris"))
+	})
+	run("tab8", func() error {
+		rows, err := experiments.Table8(cfg)
+		if err != nil {
+			return err
+		}
+		return render(experiments.Table8Table(rows))
+	})
+
+	sweeps := map[string]func(experiments.Config) ([]*experiments.SweepResult, error){
+		"tab9":  experiments.Table9,
+		"tab10": experiments.Table10,
+		"tab11": experiments.Table11,
+		"tab12": experiments.Table12,
+		"tab13": experiments.Table13,
+		"tab14": experiments.Table14,
+		"tab15": experiments.Table15,
+		"tab16": experiments.Table16,
+	}
+	for _, id := range []string{"tab9", "tab10", "tab11", "tab12", "tab13", "tab14", "tab15", "tab16"} {
+		fn := sweeps[id]
+		run(id, func() error {
+			results, err := fn(cfg)
+			if err != nil {
+				return err
+			}
+			for _, s := range results {
+				if err := render(s.Render()); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+			return nil
+		})
+	}
+
+	run("fig2", func() error {
+		points, err := experiments.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := render(experiments.Fig2Table(points)); err != nil {
+			return err
+		}
+		if !*charts {
+			return nil
+		}
+		byInstance := map[string][]float64{}
+		var labels []string
+		var order []string
+		for _, p := range points {
+			if _, ok := byInstance[p.Instance]; !ok {
+				order = append(order, p.Instance)
+			}
+			byInstance[p.Instance] = append(byInstance[p.Instance],
+				float64(p.Learn.Microseconds())/1000)
+		}
+		for _, p := range points[:len(points)/len(order)] {
+			labels = append(labels, fmt.Sprintf("%d", p.Episodes))
+		}
+		var series []plot.Series
+		for _, name := range order {
+			series = append(series, plot.Series{Name: name + " learn ms", Values: byInstance[name]})
+		}
+		fmt.Println()
+		return plot.Lines(os.Stdout, "Fig 2(a)(c): learning time vs N (chart)", labels, series, 50, 10)
+	})
+
+	run("ablations", func() error {
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		return render(experiments.AblationTable(rows))
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

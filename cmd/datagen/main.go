@@ -1,0 +1,139 @@
+// Command datagen exports the synthetic datasets as JSON: the six focus
+// instances (in the public InstanceSpec schema, reloadable with
+// rlplanner.LoadInstance), the full Univ-1/Univ-2 institutions, and the
+// trip datasets' simulated itineraries and photo logs. The exports make
+// the substitution datasets (DESIGN.md §3) inspectable and reusable
+// outside this repository.
+//
+// Usage:
+//
+//	datagen [-out datasets] [-full] [-photos]
+//
+// -full additionally exports the 1216-course and 3742-course institutions;
+// -photos additionally exports the raw simulated photo logs (large).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/rlplanner/rlplanner"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+	"github.com/rlplanner/rlplanner/internal/topics"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "datasets", "output directory")
+		full   = flag.Bool("full", false, "also export the full institutions (large)")
+		photos = flag.Bool("photos", false, "also export the simulated photo logs (large)")
+
+		synthN    = flag.Int("synth", 0, "also generate a synthetic instance with this many items")
+		synthSeed = flag.Int64("synth-seed", 1, "synthetic generator seed")
+		synthPre  = flag.Float64("synth-prereq-density", 0.25, "fraction of synthetic items with prerequisites")
+	)
+	flag.Parse()
+
+	check(os.MkdirAll(*out, 0o755))
+
+	if *synthN > 0 {
+		inst, err := rlplanner.GenerateInstance(rlplanner.GenParams{
+			Name:          fmt.Sprintf("synthetic-%d", *synthN),
+			Items:         *synthN,
+			PrereqDensity: *synthPre,
+			Seed:          *synthSeed,
+		})
+		check(err)
+		f, err := os.Create(filepath.Join(*out, slug(inst.Name())+".json"))
+		check(err)
+		check(inst.WriteJSON(f))
+		check(f.Close())
+	}
+
+	// The six focus instances, in the public reloadable schema.
+	for _, inst := range rlplanner.Instances() {
+		f, err := os.Create(filepath.Join(*out, slug(inst.Name())+".json"))
+		check(err)
+		check(inst.WriteJSON(f))
+		check(f.Close())
+	}
+
+	// Trip substrates: the simulated itineraries (and optionally photos)
+	// the popularity scores derive from.
+	for _, name := range []string{"NYC", "Paris"} {
+		city, err := trip.City(name)
+		check(err)
+		writeJSON(*out, slug(name)+"_itineraries.json", city.Itineraries)
+		if *photos {
+			writeJSON(*out, slug(name)+"_photos.json", city.Photos)
+		}
+	}
+
+	if *full {
+		for _, u := range []*univ.University{univ.FullUniv1(), univ.FullUniv2()} {
+			export := struct {
+				Name     string              `json:"name"`
+				Schools  []string            `json:"schools"`
+				Programs map[string][]string `json:"programs"`
+				Courses  []courseJSON        `json:"courses"`
+			}{Name: u.Name, Schools: u.Schools, Programs: u.Programs}
+			for i := 0; i < u.Catalog.Len(); i++ {
+				export.Courses = append(export.Courses, toCourseJSON(u.Catalog.Vocabulary(), u.Catalog.At(i)))
+			}
+			writeJSON(*out, slug(u.Name)+"_full.json", export)
+		}
+	}
+
+	fmt.Printf("datasets written to %s\n", *out)
+}
+
+// courseJSON is the export form of one full-institution course.
+type courseJSON struct {
+	ID     string   `json:"id"`
+	Name   string   `json:"name"`
+	Desc   string   `json:"description,omitempty"`
+	Prereq string   `json:"prereq,omitempty"`
+	Topics []string `json:"topics"`
+}
+
+func toCourseJSON(vocab *topics.Vocabulary, m item.Item) courseJSON {
+	out := courseJSON{ID: m.ID, Name: m.Name, Desc: m.Description, Topics: vocab.Decode(m.Topics)}
+	if m.Prereq != nil {
+		out.Prereq = prereq.Format(m.Prereq)
+	}
+	return out
+}
+
+func slug(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func writeJSON(dir, name string, v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	check(err)
+	check(os.WriteFile(filepath.Join(dir, name), data, 0o644))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rlplanner/rlplanner"
+)
+
+// learnedPlanner builds a small planner for the REPL tests.
+func learnedPlanner(t *testing.T) *rlplanner.Planner {
+	t.Helper()
+	inst, err := rlplanner.InstanceByName("Univ-1 M.S. DS-CT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rlplanner.NewPlanner(inst, rlplanner.Options{Episodes: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInteractiveLoopFinish(t *testing.T) {
+	p := learnedPlanner(t)
+	var out strings.Builder
+	plan, err := interactiveLoop(p, strings.NewReader("a 1\nf\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 10 {
+		t.Fatalf("finished plan = %d steps", len(plan.Steps))
+	}
+	if !strings.Contains(out.String(), "plan so far") {
+		t.Fatalf("prompt missing:\n%s", out.String())
+	}
+}
+
+func TestInteractiveLoopQuitKeepsPartial(t *testing.T) {
+	p := learnedPlanner(t)
+	var out strings.Builder
+	plan, err := interactiveLoop(p, strings.NewReader("a 1\nq\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 {
+		t.Fatalf("partial plan = %d steps, want 2 (start + one accept)", len(plan.Steps))
+	}
+}
+
+func TestInteractiveLoopRejectsBadInput(t *testing.T) {
+	p := learnedPlanner(t)
+	var out strings.Builder
+	// Bad number, bad command, reject without number — then finish.
+	plan, err := interactiveLoop(p, strings.NewReader("a 99\nzzz\nr\nf\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 10 {
+		t.Fatalf("plan = %d steps", len(plan.Steps))
+	}
+	for _, want := range []string{"bad suggestion number", "commands:", "need a suggestion number"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing feedback %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestInteractiveLoopEOF(t *testing.T) {
+	p := learnedPlanner(t)
+	var out strings.Builder
+	plan, err := interactiveLoop(p, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EOF before any command: only the start item.
+	if len(plan.Steps) != 1 {
+		t.Fatalf("plan = %d steps", len(plan.Steps))
+	}
+}

@@ -1,0 +1,35 @@
+// Command rlplannerd serves RL-Planner over HTTP/JSON — the interactive
+// deployment mode of §IV-F. Endpoints:
+//
+//	GET  /api/instances                  list built-in instances
+//	GET  /api/instances/{name}           instance catalog
+//	POST /api/plan                       {"instance": ..., "episodes": ..., "baseline": ...}
+//	POST /api/rate                       {"instance": ..., "items": [...]}
+//	POST /api/sessions                   open an interactive session
+//	GET  /api/sessions/{id}              session state + suggestions
+//	POST /api/sessions/{id}/accept       {"item": "CS 675"}
+//	POST /api/sessions/{id}/reject       {"item": "CS 683"}
+//	POST /api/sessions/{id}/complete     auto-complete and evaluate
+//
+// Usage:
+//
+//	rlplannerd [-addr :8080]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"github.com/rlplanner/rlplanner/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	log.Printf("rlplannerd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, httpapi.New().Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Adaptive feedback (the paper's §VI future-work extension): a student
+// rates successive course plans and the loop re-weights the reward — if
+// the student dislikes plans that interleave well but cover few topics,
+// weight shifts from the interleaving term δ to the coverage-bearing
+// type term β, and the next plan changes accordingly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rlplanner/rlplanner"
+)
+
+func main() {
+	inst, err := rlplanner.InstanceByName("Univ-1 M.S. DS-CT")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loop, err := rlplanner.NewFeedbackLoop(inst, rlplanner.Options{Seed: 5}, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := loop.Replan(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta, beta, w1, w2 := loop.Weights()
+	fmt.Printf("round 0: δ=%.3f β=%.3f w1=%.3f w2=%.3f  score %.2f  coverage %.0f%%\n",
+		delta, beta, w1, w2, plan.Score, 100*plan.CoverageRatio)
+
+	// The student keeps finding the plans topically thin: three rounds of
+	// poor ratings, one round of binary disapproval, one distribution.
+	signals := []func(*rlplanner.Plan) error{
+		func(p *rlplanner.Plan) error { return loop.ObserveRating(p, 2) },
+		func(p *rlplanner.Plan) error { return loop.ObserveBinary(p, false) },
+		func(p *rlplanner.Plan) error { return loop.ObserveRating(p, 2.5) },
+		func(p *rlplanner.Plan) error {
+			return loop.ObserveDistribution(p, []float64{0.3, 0.4, 0.2, 0.1, 0})
+		},
+	}
+	for round, observe := range signals {
+		if err := observe(plan); err != nil {
+			log.Fatal(err)
+		}
+		plan, err = loop.Replan(int64(6 + round))
+		if err != nil {
+			log.Fatal(err)
+		}
+		delta, beta, w1, w2 = loop.Weights()
+		fmt.Printf("round %d: δ=%.3f β=%.3f w1=%.3f w2=%.3f  score %.2f  coverage %.0f%%\n",
+			round+1, delta, beta, w1, w2, plan.Score, 100*plan.CoverageRatio)
+	}
+
+	fmt.Println("\nnegative feedback on interleaving-strong plans drains δ toward β")
+}

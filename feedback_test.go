@@ -1,0 +1,137 @@
+package rlplanner
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFeedbackLoopEndToEnd(t *testing.T) {
+	inst, _ := InstanceByName("Univ-1 M.S. DS-CT")
+	loop, err := NewFeedbackLoop(inst, Options{Episodes: 120}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := loop.Replan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 10 {
+		t.Fatalf("replan = %d steps", len(plan.Steps))
+	}
+
+	d0, b0, w10, w20 := loop.Weights()
+	if math.Abs(d0+b0-1) > 1e-9 || math.Abs(w10+w20-1) > 1e-9 {
+		t.Fatalf("weights not normalized: %v %v %v %v", d0, b0, w10, w20)
+	}
+
+	// All three signal kinds fold in.
+	if err := loop.ObserveBinary(plan, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := loop.ObserveRating(plan, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := loop.ObserveDistribution(plan, []float64{0.5, 0.3, 0.2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	d1, b1, _, _ := loop.Weights()
+	if math.Abs(d1+b1-1) > 1e-9 {
+		t.Fatalf("adapted weights not normalized: %v %v", d1, b1)
+	}
+	if d1 == d0 {
+		t.Fatal("negative feedback left δ untouched")
+	}
+
+	// Replanning under adapted weights still produces a full valid plan.
+	plan2, err := loop.Replan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Steps) != 10 {
+		t.Fatalf("adapted replan = %d steps", len(plan2.Steps))
+	}
+}
+
+func TestFeedbackLoopTripDefaultsAndErrors(t *testing.T) {
+	paris, _ := InstanceByName("Paris")
+	loop, err := NewFeedbackLoop(paris, Options{Episodes: 80}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := loop.Replan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loop.ObserveRating(plan, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown plan items are rejected.
+	bad := &Plan{Steps: []PlanStep{{ID: "GHOST"}}}
+	if err := loop.ObserveBinary(bad, true); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	// Invalid construction.
+	if _, err := NewFeedbackLoop(nil, Options{}, 0.3); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, err := NewFeedbackLoop(paris, Options{}, 2); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestSessionAcceptAndState(t *testing.T) {
+	inst, _ := InstanceByName("Univ-1 M.S. DS-CT")
+	p, _ := NewPlanner(inst, Options{Episodes: 150, Seed: 30})
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.StartSession(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatal("fresh session done")
+	}
+	if ids := s.PlanIDs(); len(ids) != 1 {
+		t.Fatalf("initial ids = %v", ids)
+	}
+	sug := s.Suggestions()
+	if len(sug) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if err := s.Accept(sug[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Current()
+	if len(cur.Steps) != 2 {
+		t.Fatalf("current = %d steps", len(cur.Steps))
+	}
+	if cur.SatisfiesConstraints {
+		t.Fatal("partial 2-step plan cannot satisfy the 10-course program")
+	}
+
+	// Plan before learning rejects session start.
+	fresh, _ := NewPlanner(inst, Options{Seed: 31})
+	if _, err := fresh.StartSession(3); err == nil {
+		t.Fatal("session before learning accepted")
+	}
+}
+
+func TestPlanFromPublicAPI(t *testing.T) {
+	inst, _ := InstanceByName("Univ-1 M.S. DS-CT")
+	p, _ := NewPlanner(inst, Options{Episodes: 100, Seed: 32})
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.PlanFrom("CS 636")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IDs()[0] != "CS 636" {
+		t.Fatalf("PlanFrom start = %s", plan.IDs()[0])
+	}
+	if _, err := p.PlanFrom("GHOST"); err == nil {
+		t.Fatal("unknown start accepted")
+	}
+}

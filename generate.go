@@ -1,0 +1,52 @@
+package rlplanner
+
+import (
+	"github.com/rlplanner/rlplanner/internal/dataset/synth"
+)
+
+// GenParams parameterizes the synthetic workload generator — the knob set
+// behind the scaling studies. Zero values take documented defaults (see
+// each field).
+type GenParams struct {
+	// Name identifies the instance (default "synthetic").
+	Name string
+	// Items is the catalog size |I| (default 30).
+	Items int
+	// Topics is the vocabulary size |T| (default 2·Items).
+	Topics int
+	// TopicsPerItem is the mean number of topics per item (default 4).
+	TopicsPerItem int
+	// TopicSkew ≥ 1 concentrates topics on hot themes (default 2.5).
+	TopicSkew float64
+	// PrereqDensity is the fraction of items with prerequisites
+	// (default 0.25).
+	PrereqDensity float64
+	// Primary and Secondary set the plan split (defaults 5/5).
+	Primary, Secondary int
+	// Gap is the antecedent gap (default 3).
+	Gap int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// GenerateInstance builds a random, always-feasible course-planning
+// instance from the parameters. Generated instances work with every
+// facility of this package and export via Instance.WriteJSON.
+func GenerateInstance(p GenParams) (*Instance, error) {
+	inner, err := synth.Generate(synth.Params{
+		Name:          p.Name,
+		Items:         p.Items,
+		Topics:        p.Topics,
+		TopicsPerItem: p.TopicsPerItem,
+		TopicSkew:     p.TopicSkew,
+		PrereqDensity: p.PrereqDensity,
+		Primary:       p.Primary,
+		Secondary:     p.Secondary,
+		Gap:           p.Gap,
+		Seed:          p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{inner: inner}, nil
+}

@@ -1,0 +1,3 @@
+module github.com/rlplanner/rlplanner
+
+go 1.22

@@ -1,0 +1,62 @@
+// Package eda implements the EDA next-step baseline of §IV-A2: a
+// model-free greedy walker that, at every step, takes the action with the
+// highest Equation 2 reward, breaking ties uniformly at random. It adapts
+// the next-step-recommendation paradigm of exploratory data analysis to
+// TPP; unlike RL-Planner it learns nothing, so the N/α/γ/s1 parameter
+// sweeps do not apply to it (the "—" cells of the robustness tables).
+package eda
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rlplanner/rlplanner/internal/mdp"
+)
+
+// Plan greedily walks the environment from start until the trajectory
+// budget is exhausted or no candidate remains. seed drives tie-breaking.
+func Plan(env *mdp.Env, start int, seed int64) ([]int, error) {
+	ep, err := env.Start(start)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for !ep.Done() {
+		cands := ep.Candidates()
+		if len(cands) == 0 {
+			break
+		}
+		best := 0.0
+		var ties []int
+		for i, c := range cands {
+			r := ep.Reward(c)
+			switch {
+			case i == 0 || r > best:
+				best = r
+				ties = ties[:0]
+				ties = append(ties, c)
+			case r == best:
+				ties = append(ties, c)
+			}
+		}
+		ep.Step(ties[rng.Intn(len(ties))])
+	}
+	return ep.Sequence(), nil
+}
+
+// AveragePlan runs Plan over several seeds and returns the plans; callers
+// average their scores (the paper reports EDA means over 10 runs).
+func AveragePlan(env *mdp.Env, start int, runs int, baseSeed int64) ([][]int, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("eda: runs = %d", runs)
+	}
+	out := make([][]int, 0, runs)
+	for r := 0; r < runs; r++ {
+		p, err := Plan(env, start, baseSeed+int64(r))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

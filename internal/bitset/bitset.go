@@ -1,0 +1,274 @@
+// Package bitset provides a compact, fixed-width bit vector used to
+// represent topic/theme coverage vectors (T^m in the paper). Vectors are
+// value-comparable via Equal and cheap to copy; all set operations that
+// return a new Set allocate exactly once.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-length bit vector. The zero value is an empty, zero-length
+// set; use New to create a set of a given length.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set of n bits, all zero. It panics if n is negative.
+func New(n int) Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a Set of n bits with the given indices set.
+// Indices out of [0, n) cause a panic.
+func FromIndices(n int, idx ...int) Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// FromBools returns a Set whose i-th bit is b[i]. Its length is len(b).
+func FromBools(b []bool) Set {
+	s := New(len(b))
+	for i, v := range b {
+		if v {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// Len returns the number of bits in the set.
+func (s Set) Len() int { return s.n }
+
+// check panics when i is out of range.
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Set turns bit i on.
+func (s Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear turns bit i off.
+func (s Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is on.
+func (s Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits (population count).
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// sameLen panics unless the two sets have equal length.
+func (s Set) sameLen(t Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// Union returns s ∪ t as a new Set.
+func (s Set) Union(t Set) Set {
+	s.sameLen(t)
+	u := Set{n: s.n, words: make([]uint64, len(s.words))}
+	for i := range s.words {
+		u.words[i] = s.words[i] | t.words[i]
+	}
+	return u
+}
+
+// UnionInPlace sets s = s ∪ t without allocating.
+func (s Set) UnionInPlace(t Set) {
+	s.sameLen(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Intersect returns s ∩ t as a new Set.
+func (s Set) Intersect(t Set) Set {
+	s.sameLen(t)
+	u := Set{n: s.n, words: make([]uint64, len(s.words))}
+	for i := range s.words {
+		u.words[i] = s.words[i] & t.words[i]
+	}
+	return u
+}
+
+// Difference returns s \ t as a new Set.
+func (s Set) Difference(t Set) Set {
+	s.sameLen(t)
+	u := Set{n: s.n, words: make([]uint64, len(s.words))}
+	for i := range s.words {
+		u.words[i] = s.words[i] &^ t.words[i]
+	}
+	return u
+}
+
+// IntersectCount returns |s ∩ t| without allocating.
+func (s Set) IntersectCount(t Set) int {
+	s.sameLen(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ t| without allocating.
+func (s Set) DifferenceCount(t Set) int {
+	s.sameLen(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] &^ t.words[i])
+	}
+	return c
+}
+
+// NewCoverage returns |ideal ∩ (s \ t)|: the number of ideal topics that s
+// covers beyond what t already covers. This is the quantity gated by ε in
+// Equation 3 of the paper, with t playing the role of T_current before the
+// action and s the coverage after it.
+func (s Set) NewCoverage(t, ideal Set) int {
+	s.sameLen(t)
+	s.sameLen(ideal)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64((s.words[i] &^ t.words[i]) & ideal.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t have the same length and the same bits.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every bit of s is also set in t.
+func (s Set) SubsetOf(t Set) bool {
+	s.sameLen(t)
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the positions of the set bits in increasing order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the set as a 0/1 vector, e.g. "[0,1,1,0]", matching the
+// paper's notation for topic vectors.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < s.n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// MarshalJSON encodes the set as a JSON array of 0/1 integers.
+func (s Set) MarshalJSON() ([]byte, error) {
+	out := make([]byte, 0, 2*s.n+2)
+	out = append(out, '[')
+	for i := 0; i < s.n; i++ {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if s.Test(i) {
+			out = append(out, '1')
+		} else {
+			out = append(out, '0')
+		}
+	}
+	return append(out, ']'), nil
+}
+
+// UnmarshalJSON decodes a JSON array of 0/1 integers.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var raw []int
+	if err := unmarshalIntSlice(data, &raw); err != nil {
+		return err
+	}
+	*s = New(len(raw))
+	for i, v := range raw {
+		switch v {
+		case 0:
+		case 1:
+			s.Set(i)
+		default:
+			return fmt.Errorf("bitset: element %d is %d, want 0 or 1", i, v)
+		}
+	}
+	return nil
+}

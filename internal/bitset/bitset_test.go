@@ -1,0 +1,315 @@
+package bitset
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		s := New(n)
+		if s.Len() != n {
+			t.Fatalf("Len() = %d, want %d", s.Len(), n)
+		}
+		if s.Count() != 0 {
+			t.Fatalf("Count() = %d, want 0", s.Count())
+		}
+		if !s.Empty() {
+			t.Fatalf("Empty() = false for fresh set of len %d", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Set(10) },
+		func() { s.Set(-1) },
+		func() { s.Test(10) },
+		func() { s.Clear(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(8, 1, 2, 6)
+	want := "[0,1,1,0,0,0,1,0]"
+	if got := s.String(); got != want {
+		t.Fatalf("String() = %s, want %s", got, want)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", s.Count())
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	s := FromBools([]bool{true, false, true})
+	if !s.Test(0) || s.Test(1) || !s.Test(2) {
+		t.Fatalf("FromBools wrong bits: %s", s)
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := FromIndices(100, 0, 10, 64, 99)
+	b := FromIndices(100, 10, 11, 64)
+
+	u := a.Union(b)
+	if got := u.Indices(); len(got) != 5 {
+		t.Fatalf("union indices = %v", got)
+	}
+	i := a.Intersect(b)
+	if got := i.Indices(); len(got) != 2 || got[0] != 10 || got[1] != 64 {
+		t.Fatalf("intersect indices = %v", got)
+	}
+	d := a.Difference(b)
+	if got := d.Indices(); len(got) != 2 || got[0] != 0 || got[1] != 99 {
+		t.Fatalf("difference indices = %v", got)
+	}
+	if a.IntersectCount(b) != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", a.IntersectCount(b))
+	}
+	if a.DifferenceCount(b) != 2 {
+		t.Fatalf("DifferenceCount = %d, want 2", a.DifferenceCount(b))
+	}
+}
+
+func TestUnionInPlace(t *testing.T) {
+	a := FromIndices(70, 1)
+	b := FromIndices(70, 65)
+	a.UnionInPlace(b)
+	if !a.Test(1) || !a.Test(65) || a.Count() != 2 {
+		t.Fatalf("UnionInPlace wrong result: %v", a.Indices())
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched lengths did not panic")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestNewCoverage(t *testing.T) {
+	// after covers {1,2,5}, before covers {1}, ideal is {2,3,5}.
+	// New topics = {2,5}; among ideal = {2,5} → 2.
+	after := FromIndices(8, 1, 2, 5)
+	before := FromIndices(8, 1)
+	ideal := FromIndices(8, 2, 3, 5)
+	if got := after.NewCoverage(before, ideal); got != 2 {
+		t.Fatalf("NewCoverage = %d, want 2", got)
+	}
+	// Nothing new → 0.
+	if got := before.NewCoverage(before, ideal); got != 0 {
+		t.Fatalf("NewCoverage(no change) = %d, want 0", got)
+	}
+}
+
+func TestPaperExample3(t *testing.T) {
+	// Example after Eq. 3: T_ideal = topics {1,2,6,9} of 13 (Classification,
+	// Clustering, Neural Network, Linear System). Adding m4 (Linear Algebra,
+	// topics {8,9}) to a state that covered m2's topics {1,2} gains ideal
+	// topic 9 → r1 fires with ε = 1. Adding m5 (topics {0,10,11}) gains no
+	// ideal topic → r1 = 0.
+	ideal := FromIndices(13, 1, 2, 6, 9)
+	cur := FromIndices(13, 1, 2) // after m2 (Data Mining)
+
+	afterM4 := cur.Union(FromIndices(13, 8, 9))
+	if got := afterM4.NewCoverage(cur, ideal); got != 1 {
+		t.Fatalf("m4 coverage gain = %d, want 1", got)
+	}
+	afterM5 := cur.Union(FromIndices(13, 0, 10, 11))
+	if got := afterM5.NewCoverage(cur, ideal); got != 0 {
+		t.Fatalf("m5 coverage gain = %d, want 0", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := FromIndices(10, 3)
+	b := a.Clone()
+	b.Set(4)
+	if a.Test(4) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !b.Test(3) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestEqualAndSubset(t *testing.T) {
+	a := FromIndices(66, 1, 65)
+	b := FromIndices(66, 1, 65)
+	c := FromIndices(66, 1)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	if a.Equal(c) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if a.Equal(New(65)) {
+		t.Fatal("different lengths reported equal")
+	}
+	if !c.SubsetOf(a) {
+		t.Fatal("subset not detected")
+	}
+	if a.SubsetOf(c) {
+		t.Fatal("superset reported as subset")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := FromIndices(13, 0, 5, 12)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(data) != "[1,0,0,0,0,1,0,0,0,0,0,0,1]" {
+		t.Fatalf("marshal = %s", data)
+	}
+	var b Set
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("round trip mismatch: %s vs %s", a, b)
+	}
+}
+
+func TestJSONRejectsBadElement(t *testing.T) {
+	var s Set
+	if err := json.Unmarshal([]byte("[0,2]"), &s); err == nil {
+		t.Fatal("expected error for element 2")
+	}
+}
+
+// randomSet builds a random set of length n for property tests.
+func randomSet(r *rand.Rand, n int) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestPropertyUnionCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	// |a ∪ b| = |a| + |b| - |a ∩ b|
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		n := 1 + int(seed%150+150)%150 + 1
+		a, b := randomSet(r, n), randomSet(r, n)
+		return a.Union(b).Count() == a.Count()+b.Count()-a.IntersectCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDifferenceDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%128)
+		a, b := randomSet(r, n), randomSet(r, n)
+		d := a.Difference(b)
+		return d.IntersectCount(b) == 0 && d.SubsetOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNewCoverageMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%100)
+		after, before, ideal := randomSet(r, n), randomSet(r, n), randomSet(r, n)
+		want := ideal.Intersect(after.Difference(before)).Count()
+		return after.NewCoverage(before, ideal) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIndicesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%256)
+		a := randomSet(r, n)
+		b := FromIndices(n, a.Indices()...)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	x, y := randomSet(r, 1024), randomSet(r, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectCount(y)
+	}
+}
+
+func BenchmarkNewCoverage(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x, y, z := randomSet(r, 1024), randomSet(r, 1024), randomSet(r, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.NewCoverage(y, z)
+	}
+}

@@ -1,0 +1,9 @@
+package bitset
+
+import "encoding/json"
+
+// unmarshalIntSlice decodes a JSON int array. It exists so the core Set
+// implementation stays free of direct encoding/json calls in hot paths.
+func unmarshalIntSlice(data []byte, out *[]int) error {
+	return json.Unmarshal(data, out)
+}

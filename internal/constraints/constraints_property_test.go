@@ -1,0 +1,140 @@
+package constraints_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/dataset/synth"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/item"
+)
+
+// randomPlan draws a duplicate-free random sequence of n catalog indices.
+func randomPlan(r *rand.Rand, catalogSize, n int) []int {
+	perm := r.Perm(catalogSize)
+	if n > catalogSize {
+		n = catalogSize
+	}
+	return perm[:n]
+}
+
+func TestPropertyCheckSatisfiesAgree(t *testing.T) {
+	// Satisfies must be exactly "Check returned nothing".
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := synth.Generate(synth.Params{Seed: seed, Items: 20})
+		if err != nil {
+			return false
+		}
+		plan := randomPlan(r, inst.Catalog.Len(), 2+r.Intn(10))
+		vs := constraints.Check(inst.Catalog, plan, inst.Hard)
+		return constraints.Satisfies(inst.Catalog, plan, inst.Hard) == (len(vs) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScoreZeroIffViolating(t *testing.T) {
+	// eval.Score is zero exactly when Check reports a violation.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := synth.Generate(synth.Params{Seed: seed, Items: 24})
+		if err != nil {
+			return false
+		}
+		plan := randomPlan(r, inst.Catalog.Len(), 2+r.Intn(12))
+		violating := len(constraints.Check(inst.Catalog, plan, inst.Hard)) > 0
+		score := eval.Score(inst, plan)
+		if violating {
+			return score == 0
+		}
+		return score > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDuplicatesAlwaysViolate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := synth.Generate(synth.Params{Seed: seed, Items: 20})
+		if err != nil {
+			return false
+		}
+		idx := r.Intn(inst.Catalog.Len())
+		plan := []int{idx, idx}
+		vs := constraints.Check(inst.Catalog, plan, inst.Hard)
+		for _, v := range vs {
+			if v.Kind == constraints.ViolationDuplicate {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGapRelaxationMonotone(t *testing.T) {
+	// Shrinking the gap can only remove gap violations, never add them.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := synth.Generate(synth.Params{Seed: seed, Items: 25, PrereqDensity: 0.5})
+		if err != nil {
+			return false
+		}
+		plan := randomPlan(r, inst.Catalog.Len(), 10)
+		hard := inst.Hard
+		count := func(gap int) int {
+			h := hard
+			h.Gap = gap
+			n := 0
+			for _, v := range constraints.Check(inst.Catalog, plan, h) {
+				if v.Kind == constraints.ViolationGap {
+					n++
+				}
+			}
+			return n
+		}
+		return count(1) <= count(3) && count(0) <= count(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExtraPrimariesNeverSplitViolate(t *testing.T) {
+	// Case I of Theorem 1: all-primary plans of the right length never
+	// trigger the split violation.
+	f := func(seed int64) bool {
+		inst, err := synth.Generate(synth.Params{Seed: seed, Items: 30})
+		if err != nil {
+			return false
+		}
+		var primaries []int
+		for i := 0; i < inst.Catalog.Len(); i++ {
+			if inst.Catalog.At(i).Type == item.Primary {
+				primaries = append(primaries, i)
+			}
+		}
+		want := inst.Hard.Length()
+		if len(primaries) < want {
+			return true // not enough primaries to build the case
+		}
+		plan := primaries[:want]
+		for _, v := range constraints.Check(inst.Catalog, plan, inst.Hard) {
+			if v.Kind == constraints.ViolationSplit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

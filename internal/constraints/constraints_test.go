@@ -1,0 +1,229 @@
+package constraints_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/fixture"
+	"github.com/rlplanner/rlplanner/internal/item"
+)
+
+// seq maps ids to catalog indices, failing the test on unknown ids.
+func seq(t *testing.T, c *item.Catalog, ids ...string) []int {
+	t.Helper()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		idx, ok := c.Index(id)
+		if !ok {
+			t.Fatalf("unknown id %q", id)
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+func TestPaperSequenceSatisfiesHard(t *testing.T) {
+	// §II-B.1: m1 → m2 → m4 → m5 → m6 → m3 fully satisfies permutation I2
+	// and all hard constraints (m5's OR prereq via m2 at distance 3; m6's
+	// AND prereq via m4 at distance 2... m2 at distance 3, m4 at distance 2).
+	// With gap 3, m6 at position 4 needs Linear Algebra (pos 2, dist 2):
+	// that violates the gap, so use the checker to document it precisely.
+	c := fixture.Courses()
+	h := fixture.CourseHard()
+	plan := seq(t, c,
+		"Data Structures and Algorithms", "Data Mining", "Linear Algebra",
+		"Big Data", "Machine Learning", "Data Analytics")
+	vs := constraints.Check(c, plan, h)
+	// Big Data at pos 3: Data Mining at pos 1, dist 2 < gap 3 → violation.
+	// Machine Learning at pos 4: Linear Algebra dist 2 < 3 → violation.
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	for _, v := range vs {
+		if v.Kind != constraints.ViolationGap {
+			t.Fatalf("unexpected kind %v", v.Kind)
+		}
+	}
+
+	// Reordering to give prerequisites room satisfies everything:
+	// DM(0), DSA(1), LA(2), BD(3: DM dist 3 ≥ 3 ✓), DA(4), ML(5: LA dist 3 ✓, DM dist 5 ✓).
+	good := seq(t, c,
+		"Data Mining", "Data Structures and Algorithms", "Linear Algebra",
+		"Big Data", "Data Analytics", "Machine Learning")
+	if vs := constraints.Check(c, good, h); len(vs) != 0 {
+		t.Fatalf("good plan violations = %v", vs)
+	}
+	if !constraints.Satisfies(c, good, h) {
+		t.Fatal("Satisfies = false for valid plan")
+	}
+}
+
+func TestCreditFloor(t *testing.T) {
+	c := fixture.Courses()
+	h := fixture.CourseHard() // needs 18 credits
+	short := seq(t, c, "Data Mining", "Linear Algebra")
+	vs := constraints.Check(c, short, h)
+	if !hasKind(vs, constraints.ViolationCredits) {
+		t.Fatalf("no credit violation in %v", vs)
+	}
+}
+
+func TestCreditCeiling(t *testing.T) {
+	c := fixture.Trip()
+	h := fixture.TripHard() // 6-hour budget
+	// Louvre(2) + Orsay(1.5) + Eiffel(1.5) + Notre-Dame(1) + Seine(1) = 7h.
+	long := seq(t, c, "Louvre Museum", "Musée d'Orsay", "Eiffel Tower",
+		"Cathédrale Notre-Dame de Paris", "The River Seine")
+	vs := constraints.Check(c, long, h)
+	if !hasKind(vs, constraints.ViolationCredits) {
+		t.Fatalf("no budget violation in %v", vs)
+	}
+}
+
+func TestSplitCaseIConsistent(t *testing.T) {
+	// Case I of Theorem 1's proof: extra primaries are fine.
+	c := fixture.Courses()
+	h := constraints.Hard{Credits: 9, Primary: 2, Secondary: 1, Gap: 1}
+	plan := seq(t, c, "Data Structures and Algorithms", "Data Analytics", "Machine Learning")
+	// 3 primaries where 2 primary + 1 secondary were requested: allowed.
+	for _, v := range constraints.Check(c, plan, h) {
+		if v.Kind == constraints.ViolationSplit {
+			t.Fatalf("Case I flagged as split violation: %v", v)
+		}
+	}
+}
+
+func TestSplitCaseIIViolation(t *testing.T) {
+	// Case II: fewer primaries than required is a violation.
+	c := fixture.Courses()
+	h := constraints.Hard{Credits: 9, Primary: 2, Secondary: 1, Gap: 1}
+	plan := seq(t, c, "Data Mining", "Linear Algebra", "Data Analytics")
+	vs := constraints.Check(c, plan, h)
+	if !hasKind(vs, constraints.ViolationSplit) {
+		t.Fatalf("no split violation in %v", vs)
+	}
+}
+
+func TestLengthViolation(t *testing.T) {
+	c := fixture.Courses()
+	h := constraints.Hard{Credits: 6, Primary: 1, Secondary: 2, Gap: 1}
+	plan := seq(t, c, "Data Mining", "Data Analytics")
+	vs := constraints.Check(c, plan, h)
+	if !hasKind(vs, constraints.ViolationLength) {
+		t.Fatalf("no length violation in %v", vs)
+	}
+}
+
+func TestDuplicateViolation(t *testing.T) {
+	c := fixture.Courses()
+	h := constraints.Hard{Credits: 6, Primary: 0, Secondary: 2, Gap: 1}
+	plan := seq(t, c, "Data Mining", "Data Mining")
+	vs := constraints.Check(c, plan, h)
+	if !hasKind(vs, constraints.ViolationDuplicate) {
+		t.Fatalf("no duplicate violation in %v", vs)
+	}
+}
+
+func TestThemeGap(t *testing.T) {
+	c := fixture.Trip()
+	h := constraints.Hard{Credits: 6, CreditMode: constraints.MaxCredits,
+		Primary: 1, Secondary: 1, Gap: 1, ThemeGap: true}
+	// Louvre (museum) directly followed by Orsay (museum): theme violation.
+	plan := seq(t, c, "Louvre Museum", "Musée d'Orsay")
+	vs := constraints.Check(c, plan, h)
+	if !hasKind(vs, constraints.ViolationThemeGap) {
+		t.Fatalf("no theme violation in %v", vs)
+	}
+	// Louvre then Le Cinq (restaurant, prereq satisfied at gap 1): valid.
+	plan = seq(t, c, "Louvre Museum", "Le Cinq")
+	vs = constraints.Check(c, plan, h)
+	if hasKind(vs, constraints.ViolationThemeGap) || hasKind(vs, constraints.ViolationGap) {
+		t.Fatalf("unexpected violations %v", vs)
+	}
+}
+
+func TestDistanceThreshold(t *testing.T) {
+	c := fixture.Trip()
+	h := constraints.Hard{Credits: 10, CreditMode: constraints.MaxCredits,
+		Primary: 1, Secondary: 1, Gap: 0, MaxDistanceKm: 0.5}
+	// Eiffel → Pantheon is far more than 0.5 km.
+	plan := seq(t, c, "Eiffel Tower", "Pantheon")
+	vs := constraints.Check(c, plan, h)
+	if !hasKind(vs, constraints.ViolationDistance) {
+		t.Fatalf("no distance violation in %v", vs)
+	}
+	h.MaxDistanceKm = 50
+	if vs := constraints.Check(c, plan, h); hasKind(vs, constraints.ViolationDistance) {
+		t.Fatalf("spurious distance violation in %v", vs)
+	}
+}
+
+func TestTripAntecedent(t *testing.T) {
+	c := fixture.Trip()
+	h := fixture.TripHard()
+	// Le Cinq before any museum violates the antecedent rule (gap 1).
+	plan := seq(t, c, "Le Cinq", "Louvre Museum")
+	vs := constraints.Check(c, plan, h)
+	if !hasKind(vs, constraints.ViolationGap) {
+		t.Fatalf("no antecedent violation in %v", vs)
+	}
+}
+
+func TestTemplateValidate(t *testing.T) {
+	it := fixture.CourseTemplate()
+	if err := it.Validate(3, 3); err != nil {
+		t.Fatalf("Validate(3,3): %v", err)
+	}
+	if err := it.Validate(4, 2); err == nil {
+		t.Fatal("Validate(4,2) should fail")
+	}
+}
+
+func TestParseTemplate(t *testing.T) {
+	it, err := constraints.ParseTemplate("P, S, p, core, elective,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []item.Type{item.Primary, item.Secondary, item.Primary, item.Primary, item.Secondary}
+	if len(it[0]) != len(want) {
+		t.Fatalf("parsed %v", it[0])
+	}
+	for i, ty := range want {
+		if it[0][i] != ty {
+			t.Fatalf("position %d = %v, want %v", i, it[0][i], ty)
+		}
+	}
+	if _, err := constraints.ParseTemplate("primary, tertiary"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := constraints.Hard{Credits: 30, Primary: 5, Secondary: 5, Gap: 3}
+	if h.String() != "⟨30, 5, 5, 3⟩" {
+		t.Fatalf("Hard.String = %s", h.String())
+	}
+	it := constraints.MustParseTemplate("primary, secondary")
+	if !strings.Contains(it.String(), "primary, secondary") {
+		t.Fatalf("Template.String = %s", it.String())
+	}
+	v := constraints.Violation{Kind: constraints.ViolationGap, Pos: 2, Detail: "x"}
+	if !strings.Contains(v.String(), "position 2") {
+		t.Fatalf("Violation.String = %s", v)
+	}
+	for k := constraints.ViolationCredits; k <= constraints.ViolationDuplicate; k++ {
+		if strings.HasPrefix(k.String(), "ViolationKind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func hasKind(vs []constraints.Violation, k constraints.ViolationKind) bool {
+	for _, v := range vs {
+		if v.Kind == k {
+			return true
+		}
+	}
+	return false
+}

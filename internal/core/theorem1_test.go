@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/bitset"
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+	"github.com/rlplanner/rlplanner/internal/topics"
+)
+
+// randomInstance generates a random but well-formed course instance:
+// nItems items over nTopics topics, a sprinkling of DAG-shaped
+// prerequisites, and a p+s plan requirement. Prerequisites only reference
+// lower-indexed items, so the catalog is always acyclic, and enough
+// prereq-free items of each type exist for feasibility.
+func randomInstance(rng *rand.Rand, name string) *dataset.Instance {
+	nItems := 14 + rng.Intn(12)
+	nTopics := 20 + rng.Intn(20)
+	p, s := 3, 3
+	gap := 1 + rng.Intn(2)
+
+	names := make([]string, nTopics)
+	for i := range names {
+		names[i] = fmt.Sprintf("topic-%d", i)
+	}
+	vocab, err := topics.NewVocabulary(names)
+	if err != nil {
+		panic(err)
+	}
+
+	items := make([]item.Item, nItems)
+	var primaries int
+	for i := range items {
+		ty := item.Secondary
+		// Guarantee p prereq-free primaries up front, then randomize.
+		if i < p {
+			ty = item.Primary
+			primaries++
+		} else if rng.Intn(3) == 0 {
+			ty = item.Primary
+			primaries++
+		}
+		vec := bitset.New(nTopics)
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			vec.Set(rng.Intn(nTopics))
+		}
+		var pre prereq.Expr
+		// Items beyond the feasibility core may carry prerequisites on
+		// strictly earlier items.
+		if i >= p+s && rng.Intn(3) == 0 {
+			a := rng.Intn(i)
+			if rng.Intn(2) == 0 {
+				b := rng.Intn(i)
+				pre = prereq.Or{prereq.Ref(fmt.Sprintf("it-%d", a)), prereq.Ref(fmt.Sprintf("it-%d", b))}
+			} else {
+				pre = prereq.Ref(fmt.Sprintf("it-%d", a))
+			}
+		}
+		items[i] = item.Item{
+			ID:       fmt.Sprintf("it-%d", i),
+			Name:     fmt.Sprintf("Item %d", i),
+			Type:     ty,
+			Credits:  3,
+			Prereq:   pre,
+			Topics:   vec,
+			Category: item.NoCategory,
+		}
+	}
+	catalog, err := item.NewCatalog(vocab, items)
+	if err != nil {
+		panic(err)
+	}
+
+	hard := constraints.Hard{
+		Credits:    float64(3 * (p + s)),
+		CreditMode: constraints.MinCredits,
+		Primary:    p,
+		Secondary:  s,
+		Gap:        gap,
+	}
+	ideal := bitset.New(nTopics)
+	for i := 0; i < nTopics; i++ {
+		ideal.Set(i)
+	}
+	inst := &dataset.Instance{
+		Name:         name,
+		Kind:         dataset.CoursePlanning,
+		Catalog:      catalog,
+		Hard:         hard,
+		Soft:         constraints.Soft{Ideal: ideal, Template: dataset.MakeTemplate(p, s)},
+		DefaultStart: "it-0",
+		Defaults: dataset.Defaults{
+			Episodes: 200, Alpha: 0.75, Gamma: 0.95, Epsilon: 0.0025,
+			Delta: 0.8, Beta: 0.2, W1: 0.6, W2: 0.4, Sim: seqsim.Average,
+		},
+		GoldScore: float64(p + s),
+	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// TestTheorem1PositiveRewardTrajectoriesSatisfyGaps is the executable core
+// of Theorem 1 on random catalogs: along ANY trajectory, a step with
+// strictly positive reward has its antecedent-gap requirement satisfied
+// (r2 = 1 is a factor of θ). This holds regardless of what the learner
+// does, so it is checked over random walks.
+func TestTheorem1PositiveRewardTrajectoriesSatisfyGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomInstance(rng, fmt.Sprintf("rand-%d", trial))
+		p, err := core.New(inst, core.Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := p.Env()
+		ep, err := env.Start(rng.Intn(env.NumItems()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !ep.Done() {
+			cands := ep.Candidates()
+			if len(cands) == 0 {
+				break
+			}
+			a := cands[rng.Intn(len(cands))]
+			tr := ep.Transition(a)
+			r := ep.Reward(a)
+			if r > 0 && !tr.PrereqOK {
+				t.Fatalf("trial %d: positive reward %v with unsatisfied antecedent", trial, r)
+			}
+			ep.Step(a)
+		}
+	}
+}
+
+// TestTheorem1LearnedPlansSatisfyHardConstraints checks the end-to-end
+// consequence on random catalogs: learned guided plans of full length
+// satisfy every hard constraint — and the §IV-A score is positive exactly
+// when they do.
+func TestTheorem1LearnedPlansSatisfyHardConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	fullLength, constraintOK := 0, 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		inst := randomInstance(rng, fmt.Sprintf("rand2-%d", trial))
+		p, err := core.New(inst, core.Options{Episodes: 250, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Learn(); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := p.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := eval.Evaluate(inst, plan)
+		if (d.Score > 0) != (len(d.Violations) == 0) {
+			t.Fatalf("trial %d: score %v with violations %v", trial, d.Score, d.Violations)
+		}
+		if len(plan) == inst.Hard.Length() {
+			fullLength++
+			if len(d.Violations) == 0 {
+				constraintOK++
+			}
+		}
+	}
+	if fullLength == 0 {
+		t.Fatal("no full-length plans produced")
+	}
+	// The guided walk should satisfy constraints on the overwhelming
+	// majority of feasible random instances.
+	if constraintOK*10 < fullLength*8 {
+		t.Fatalf("only %d of %d full-length plans satisfied constraints", constraintOK, fullLength)
+	}
+}
+
+// TestCountBudgetMeetsCreditFloor checks Theorem 1 part 1 on random
+// catalogs: the count-based trajectory design makes total credits equal
+// the credit requirement.
+func TestCountBudgetMeetsCreditFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomInstance(rng, fmt.Sprintf("rand3-%d", trial))
+		p, err := core.New(inst, core.Options{Episodes: 150, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Learn(); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := p.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan) != inst.Hard.Length() {
+			continue // candidate exhaustion; covered elsewhere
+		}
+		if got := inst.Catalog.TotalCredits(plan); got != inst.Hard.Credits {
+			t.Fatalf("trial %d: credits %v, want %v", trial, got, inst.Hard.Credits)
+		}
+	}
+	_ = mdp.CountBudget{}
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/item"
+)
+
+// MakeTemplate builds a three-permutation interleaving template IT for a
+// plan of p primary and s secondary items, in the spirit of the expert
+// templates of §II-B: every permutation starts with a primary item, and
+// the three are small perturbations of a common alternating backbone —
+// realistic expert templates agree on most positions and differ in a few
+// local swaps (exactly the character of the paper's Example 1 template,
+// whose three permutations share long common substrings). Perturbation
+// structure also keeps the minimum-similarity variant informative: a
+// sequence following the backbone still matches most positions of every
+// permutation. The result is deterministic.
+func MakeTemplate(p, s int) constraints.Template {
+	base := alternating(p, s)
+	return constraints.Template{
+		base,
+		swapFirst(base),
+		swapLast(base),
+	}
+}
+
+// swapFirst copies perm and swaps the first adjacent unequal pair at
+// position ≥ 1 (position 0 stays primary).
+func swapFirst(perm []item.Type) []item.Type {
+	out := append([]item.Type(nil), perm...)
+	for j := 1; j < len(out)-1; j++ {
+		if out[j] != out[j+1] {
+			out[j], out[j+1] = out[j+1], out[j]
+			return out
+		}
+	}
+	return out
+}
+
+// swapLast copies perm and swaps the last adjacent unequal pair at
+// position ≥ 1.
+func swapLast(perm []item.Type) []item.Type {
+	out := append([]item.Type(nil), perm...)
+	for j := len(out) - 2; j >= 1; j-- {
+		if out[j] != out[j+1] {
+			out[j], out[j+1] = out[j+1], out[j]
+			return out
+		}
+	}
+	return out
+}
+
+// alternating yields P S P S … with leftovers appended.
+func alternating(p, s int) []item.Type {
+	out := make([]item.Type, 0, p+s)
+	for p > 0 || s > 0 {
+		if p > 0 {
+			out = append(out, item.Primary)
+			p--
+		}
+		if s > 0 {
+			out = append(out, item.Secondary)
+			s--
+		}
+	}
+	return out
+}
+
+// paired yields P P S S P P S S … with leftovers appended.
+func paired(p, s int) []item.Type {
+	out := make([]item.Type, 0, p+s)
+	for p > 0 || s > 0 {
+		for i := 0; i < 2 && p > 0; i++ {
+			out = append(out, item.Primary)
+			p--
+		}
+		for i := 0; i < 2 && s > 0; i++ {
+			out = append(out, item.Secondary)
+			s--
+		}
+	}
+	return out
+}
+
+// backloaded yields one leading primary, then all secondaries, then the
+// remaining primaries — the "museums first, relax later" shape of
+// Example 2's I2.
+func backloaded(p, s int) []item.Type {
+	out := make([]item.Type, 0, p+s)
+	if p > 0 {
+		out = append(out, item.Primary)
+		p--
+	}
+	for ; s > 0; s-- {
+		out = append(out, item.Secondary)
+	}
+	for ; p > 0; p-- {
+		out = append(out, item.Primary)
+	}
+	return out
+}

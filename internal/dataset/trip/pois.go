@@ -1,0 +1,287 @@
+// Package trip synthesizes the trip-planning datasets of §IV-A1: POI
+// catalogs for NYC (90 POIs, 21 themes) and Paris (114 POIs, 16 themes)
+// together with a Flickr-style photo-log simulator whose grouped user-day
+// itineraries (2908 for NYC, 5494 for Paris) yield the POI popularity
+// scores the trip evaluation is based on. POI names include every POI the
+// paper's tables quote (battery park, colonnade row, pont neuf, promenade
+// plantée, musée des égouts de paris, …).
+package trip
+
+// poiDef is one point of interest: dominant theme category, coordinates,
+// typical visitation hours (cr^m) and whether it is a must-visit (primary).
+// extra lists additional theme indices the POI covers.
+type poiDef struct {
+	name    string
+	cat     int
+	lat     float64
+	lon     float64
+	hours   float64
+	primary bool
+	extra   []int
+}
+
+// nycThemes are the 21 NYC themes (Google Places-style, §IV-A1).
+var nycThemes = []string{
+	"museum", "park", "church", "establishment", "art_gallery",
+	"landmark", "bridge", "library", "university", "stadium",
+	"market", "theater", "zoo", "aquarium", "garden",
+	"monument", "observation_deck", "square", "street", "restaurant",
+	"waterfront",
+}
+
+// nycPOIs is the 90-POI New York catalog.
+var nycPOIs = []poiDef{
+	// Museums (theme 0).
+	{"metropolitan museum of art", 0, 40.7794, -73.9632, 2.5, true, []int{4}},
+	{"museum of modern art", 0, 40.7614, -73.9776, 2, true, []int{4}},
+	{"american museum of natural history", 0, 40.7813, -73.9740, 2.5, false, nil},
+	{"whitney museum of american art", 0, 40.7396, -74.0089, 1.5, false, []int{4}},
+	{"guggenheim museum", 0, 40.7830, -73.9590, 1.5, false, []int{4, 5}},
+	{"brooklyn museum", 0, 40.6712, -73.9636, 2, false, []int{4}},
+	{"museum of the city of new york", 0, 40.7924, -73.9519, 1.5, false, nil},
+	{"new museum", 0, 40.7224, -73.9926, 1, false, []int{4}},
+	{"tenement museum", 0, 40.7188, -73.9900, 1, false, nil},
+	{"museum of television and radio", 0, 40.7612, -73.9776, 1.5, false, nil},
+	{"intrepid sea air space museum", 0, 40.7645, -74.0014, 2, false, nil},
+	{"9/11 memorial museum", 0, 40.7115, -74.0134, 2, false, []int{15}},
+	{"frick collection", 0, 40.7712, -73.9673, 1, false, []int{4}},
+	{"morgan library and museum", 0, 40.7494, -73.9817, 1.5, false, []int{7}},
+	{"cooper hewitt design museum", 0, 40.7846, -73.9580, 1, false, nil},
+	{"museum of jewish heritage", 0, 40.7064, -74.0184, 1.5, false, nil},
+	// Parks (theme 1).
+	{"central park", 1, 40.7829, -73.9654, 2, true, []int{14}},
+	{"bryant park", 1, 40.7536, -73.9832, 0.75, false, nil},
+	{"washington square park", 1, 40.7308, -73.9973, 0.75, false, []int{15}},
+	{"battery park", 1, 40.7033, -74.0170, 1, false, []int{20}},
+	{"hudson river park", 1, 40.7286, -74.0113, 1, false, []int{20}},
+	{"prospect park", 1, 40.6602, -73.9690, 1.5, false, nil},
+	{"madison square park", 1, 40.7425, -73.9880, 0.5, false, nil},
+	{"riverside park", 1, 40.8010, -73.9723, 1, false, []int{20}},
+	{"tompkins square park", 1, 40.7265, -73.9817, 0.5, false, nil},
+	{"the high line", 1, 40.7480, -74.0048, 1.25, false, []int{18}},
+	{"flushing meadows corona park", 1, 40.7400, -73.8407, 1.5, false, nil},
+	// Churches (theme 2).
+	{"st patrick's cathedral", 2, 40.7585, -73.9760, 0.75, false, []int{5}},
+	{"trinity church", 2, 40.7081, -74.0120, 0.5, false, nil},
+	{"st paul's chapel", 2, 40.7113, -74.0091, 0.5, false, nil},
+	{"riverside church", 2, 40.8111, -73.9633, 0.5, false, nil},
+	// Establishments (theme 3).
+	{"rockefeller center", 3, 40.7587, -73.9787, 1.5, true, []int{16}},
+	{"colonnade row", 3, 40.7291, -73.9919, 0.5, false, []int{5}},
+	{"flatiron building", 3, 40.7411, -73.9897, 0.5, false, []int{5}},
+	{"chrysler building", 3, 40.7516, -73.9755, 0.5, false, []int{5}},
+	{"grand central terminal", 3, 40.7527, -73.9772, 0.75, false, []int{5}},
+	{"new york stock exchange", 3, 40.7069, -74.0113, 0.5, false, nil},
+	{"federal hall", 3, 40.7074, -74.0102, 0.5, false, []int{15}},
+	{"the dakota", 3, 40.7765, -73.9760, 0.25, false, nil},
+	{"woolworth building", 3, 40.7124, -74.0083, 0.5, false, []int{5}},
+	// Art galleries (theme 4).
+	{"gagosian gallery", 4, 40.7470, -74.0049, 0.75, false, nil},
+	{"david zwirner gallery", 4, 40.7464, -74.0044, 0.75, false, nil},
+	{"pace gallery", 4, 40.7492, -74.0021, 0.75, false, nil},
+	// Landmarks (theme 5).
+	{"ellis island", 5, 40.6995, -74.0396, 2, false, []int{0}},
+	{"castle clinton", 5, 40.7036, -74.0169, 0.5, false, nil},
+	{"little island", 5, 40.7420, -74.0101, 0.75, false, []int{1}},
+	{"grand army plaza", 5, 40.7644, -73.9732, 0.25, false, nil},
+	// Bridges (theme 6).
+	{"brooklyn bridge", 6, 40.7061, -73.9969, 1, true, []int{5}},
+	{"manhattan bridge", 6, 40.7075, -73.9907, 0.75, false, nil},
+	{"williamsburg bridge", 6, 40.7134, -73.9724, 0.75, false, nil},
+	// Libraries (theme 7).
+	{"new york public library", 7, 40.7532, -73.9822, 1, false, []int{5}},
+	// Universities (theme 8).
+	{"new york university", 8, 40.7295, -73.9965, 0.75, false, nil},
+	{"columbia university", 8, 40.8075, -73.9626, 1, false, nil},
+	// Stadiums (theme 9).
+	{"yankee stadium", 9, 40.8296, -73.9262, 2, false, nil},
+	{"madison square garden", 9, 40.7505, -73.9934, 2, false, nil},
+	// Markets (theme 10).
+	{"chelsea market", 10, 40.7424, -74.0060, 1, false, []int{19}},
+	{"essex market", 10, 40.7185, -73.9880, 0.75, false, nil},
+	// Theaters (theme 11).
+	{"radio city music hall", 11, 40.7600, -73.9799, 1.5, false, nil},
+	{"carnegie hall", 11, 40.7651, -73.9799, 1.5, false, nil},
+	{"apollo theater", 11, 40.8100, -73.9501, 1.5, false, nil},
+	{"lincoln center", 11, 40.7725, -73.9835, 1.5, false, nil},
+	{"metropolitan opera house", 11, 40.7728, -73.9843, 2, false, nil},
+	// Zoos (theme 12).
+	{"bronx zoo", 12, 40.8506, -73.8769, 2.5, false, nil},
+	{"central park zoo", 12, 40.7678, -73.9718, 1.5, false, nil},
+	// Aquarium (theme 13).
+	{"new york aquarium", 13, 40.5744, -73.9756, 1.5, false, nil},
+	// Gardens (theme 14).
+	{"brooklyn botanic garden", 14, 40.6676, -73.9632, 1.5, false, nil},
+	{"new york botanical garden", 14, 40.8623, -73.8800, 2, false, nil},
+	{"conservatory garden", 14, 40.7938, -73.9521, 0.75, false, nil},
+	// Monuments (theme 15).
+	{"statue of liberty", 15, 40.6892, -74.0445, 2.5, true, []int{5}},
+	{"grant's tomb", 15, 40.8134, -73.9630, 0.5, false, nil},
+	{"washington square arch", 15, 40.7312, -73.9971, 0.25, false, nil},
+	{"charging bull", 15, 40.7056, -74.0134, 0.25, false, nil},
+	// Observation decks (theme 16).
+	{"empire state building", 16, 40.7484, -73.9857, 1.5, true, []int{5}},
+	{"top of the rock", 16, 40.7593, -73.9794, 1, false, nil},
+	{"one world observatory", 16, 40.7130, -74.0132, 1.5, false, nil},
+	// Squares (theme 17).
+	{"times square", 17, 40.7580, -73.9855, 1, true, nil},
+	{"union square", 17, 40.7359, -73.9911, 0.5, false, []int{10}},
+	{"columbus circle", 17, 40.7681, -73.9819, 0.25, false, nil},
+	// Streets (theme 18).
+	{"fifth avenue", 18, 40.7744, -73.9656, 1, false, nil},
+	{"wall street", 18, 40.7064, -74.0094, 0.5, false, nil},
+	{"mulberry street", 18, 40.7193, -73.9973, 0.5, false, []int{19}},
+	{"stone street", 18, 40.7042, -74.0104, 0.5, false, []int{19}},
+	// Restaurants (theme 19). Restaurants are best after a museum or
+	// gallery — their antecedents are added by the builder.
+	{"katz's delicatessen", 19, 40.7223, -73.9874, 1, false, nil},
+	{"peter luger steak house", 19, 40.7098, -73.9622, 1.5, false, nil},
+	{"le bernardin", 19, 40.7615, -73.9818, 1.5, false, nil},
+	{"grimaldi's pizzeria", 19, 40.7025, -73.9932, 1, false, nil},
+	// Waterfront (theme 20).
+	{"south street seaport", 20, 40.7063, -74.0036, 1, false, []int{10}},
+	{"coney island boardwalk", 20, 40.5725, -73.9790, 1.5, false, nil},
+	{"brooklyn heights promenade", 20, 40.6962, -73.9969, 0.75, false, nil},
+	{"governors island", 20, 40.6895, -74.0168, 1.5, false, []int{1}},
+}
+
+// parisThemes are the 16 Paris themes (§IV-A1).
+var parisThemes = []string{
+	"museum", "church", "park", "establishment", "art_gallery",
+	"palace", "bridge", "cathedral", "monument", "garden",
+	"square", "street", "restaurant", "cemetery", "theater", "tower",
+}
+
+// parisPOIs is the 114-POI Paris catalog.
+var parisPOIs = []poiDef{
+	// Museums (theme 0).
+	{"louvre museum", 0, 48.8606, 2.3376, 2.5, true, []int{4}},
+	{"musée d'orsay", 0, 48.8600, 2.3266, 2, true, []int{4}},
+	{"centre pompidou", 0, 48.8607, 2.3522, 2, false, []int{4}},
+	{"musée rodin", 0, 48.8553, 2.3159, 1.5, false, []int{9}},
+	{"musée picasso", 0, 48.8598, 2.3624, 1.5, false, []int{4}},
+	{"musée de l'orangerie", 0, 48.8638, 2.3227, 1, false, []int{4}},
+	{"musée du luxembourg", 0, 48.8487, 2.3338, 1, false, []int{4}},
+	{"musée des égouts de paris", 0, 48.8628, 2.3030, 1, false, nil},
+	{"musée de cluny", 0, 48.8505, 2.3440, 1, false, nil},
+	{"musée marmottan monet", 0, 48.8594, 2.2672, 1.5, false, []int{4}},
+	{"musée jacquemart-andré", 0, 48.8757, 2.3105, 1, false, []int{4}},
+	{"musée grévin", 0, 48.8716, 2.3421, 1, false, nil},
+	{"musée de montmartre", 0, 48.8878, 2.3406, 1, false, nil},
+	{"musée carnavalet", 0, 48.8571, 2.3626, 1.5, false, nil},
+	{"musée guimet", 0, 48.8649, 2.2937, 1.5, false, nil},
+	{"musée du quai branly", 0, 48.8609, 2.2977, 1.5, false, nil},
+	{"fondation louis vuitton", 0, 48.8766, 2.2633, 1.5, false, []int{4}},
+	{"institut du monde arabe", 0, 48.8489, 2.3563, 1, false, nil},
+	{"cité des sciences et de l'industrie", 0, 48.8957, 2.3877, 2, false, nil},
+	{"musée de l'armée", 0, 48.8565, 2.3126, 1.5, false, nil},
+	// Churches (theme 1).
+	{"sacré-cœur", 1, 48.8867, 2.3431, 1, true, []int{8}},
+	{"église st-sulpice", 1, 48.8511, 2.3348, 0.5, false, nil},
+	{"église st-eustache", 1, 48.8634, 2.3452, 0.5, false, nil},
+	{"église st-germain des prés", 1, 48.8539, 2.3338, 0.5, false, nil},
+	{"la madeleine", 1, 48.8700, 2.3245, 0.5, false, nil},
+	{"saint-étienne-du-mont", 1, 48.8466, 2.3481, 0.5, false, nil},
+	{"basilique saint-denis", 1, 48.9355, 2.3600, 1, false, nil},
+	{"église de la sainte-trinité", 1, 48.8763, 2.3310, 0.5, false, nil},
+	{"saint-augustin", 1, 48.8760, 2.3187, 0.5, false, nil},
+	{"val-de-grâce", 1, 48.8405, 2.3420, 0.5, false, nil},
+	// Parks (theme 2).
+	{"parc des buttes-chaumont", 2, 48.8809, 2.3817, 1, false, nil},
+	{"parc monceau", 2, 48.8797, 2.3090, 0.75, false, nil},
+	{"parc de la villette", 2, 48.8938, 2.3905, 1, false, nil},
+	{"bois de boulogne", 2, 48.8624, 2.2493, 1.5, false, nil},
+	{"bois de vincennes", 2, 48.8283, 2.4330, 1.5, false, nil},
+	{"promenade plantée", 2, 48.8482, 2.3762, 1, false, []int{11}},
+	{"parc floral de paris", 2, 48.8384, 2.4395, 1, false, []int{9}},
+	{"parc montsouris", 2, 48.8222, 2.3386, 0.75, false, nil},
+	// Establishments (theme 3).
+	{"la défense", 3, 48.8924, 2.2361, 1, false, nil},
+	{"galeries lafayette", 3, 48.8735, 2.3320, 1, false, nil},
+	{"le bon marché", 3, 48.8509, 2.3243, 1, false, nil},
+	{"hôtel de ville", 3, 48.8566, 2.3522, 0.5, false, nil},
+	{"conciergerie", 3, 48.8557, 2.3458, 0.75, false, []int{8}},
+	{"la sorbonne", 3, 48.8487, 2.3430, 0.5, false, nil},
+	{"collège de france", 3, 48.8494, 2.3447, 0.5, false, nil},
+	{"bibliothèque nationale de france", 3, 48.8339, 2.3757, 0.75, false, nil},
+	{"les invalides", 3, 48.8566, 2.3125, 1.5, false, []int{8}},
+	{"moulin rouge", 3, 48.8841, 2.3322, 0.75, false, []int{14}},
+	{"bateaux mouches", 3, 48.8638, 2.3050, 1.25, false, nil},
+	{"aquarium de paris", 3, 48.8617, 2.2907, 1, false, nil},
+	{"ménagerie du jardin des plantes", 3, 48.8442, 2.3614, 1, false, []int{9}},
+	{"marché aux puces de saint-ouen", 3, 48.9017, 2.3420, 1.5, false, []int{11}},
+	{"marché d'aligre", 3, 48.8490, 2.3786, 0.75, false, []int{11}},
+	// Art galleries (theme 4).
+	{"grand palais", 4, 48.8661, 2.3125, 1.5, false, []int{5}},
+	{"petit palais", 4, 48.8660, 2.3146, 1, false, []int{5}},
+	{"palais de tokyo", 4, 48.8640, 2.2966, 1, false, nil},
+	{"galerie perrotin", 4, 48.8605, 2.3650, 0.75, false, nil},
+	{"atelier des lumières", 4, 48.8612, 2.3812, 1, false, nil},
+	// Palaces (theme 5).
+	{"palais garnier", 5, 48.8720, 2.3316, 1, false, []int{14}},
+	{"palais royal", 5, 48.8637, 2.3371, 0.75, false, []int{9}},
+	{"palais de chaillot", 5, 48.8620, 2.2880, 0.75, false, nil},
+	{"château de vincennes", 5, 48.8427, 2.4355, 1.5, false, nil},
+	{"palais de l'élysée", 5, 48.8704, 2.3166, 0.25, false, nil},
+	{"palais du luxembourg", 5, 48.8485, 2.3371, 0.5, false, nil},
+	// Bridges (theme 6).
+	{"pont neuf", 6, 48.8566, 2.3411, 0.5, false, nil},
+	{"pont alexandre iii", 6, 48.8639, 2.3135, 0.5, false, []int{8}},
+	{"pont des arts", 6, 48.8583, 2.3375, 0.5, false, nil},
+	{"pont de bir-hakeim", 6, 48.8558, 2.2875, 0.5, false, nil},
+	{"pont marie", 6, 48.8525, 2.3574, 0.25, false, nil},
+	// Cathedrals (theme 7).
+	{"cathédrale notre-dame de paris", 7, 48.8530, 2.3499, 1, true, []int{1}},
+	{"sainte chapelle", 7, 48.8554, 2.3450, 0.75, false, []int{1}},
+	{"cathédrale alexandre nevsky", 7, 48.8777, 2.3021, 0.5, false, nil},
+	// Monuments (theme 8).
+	{"arc de triomphe", 8, 48.8738, 2.2950, 1, true, nil},
+	{"panthéon", 8, 48.8462, 2.3464, 1, false, nil},
+	{"colonne vendôme", 8, 48.8675, 2.3294, 0.25, false, nil},
+	{"obélisque de louxor", 8, 48.8656, 2.3212, 0.25, false, nil},
+	{"tour saint-jacques", 8, 48.8579, 2.3490, 0.25, false, nil},
+	{"flamme de la liberté", 8, 48.8644, 2.3010, 0.25, false, nil},
+	{"catacombes de paris", 8, 48.8339, 2.3324, 1.5, false, nil},
+	// Gardens (theme 9).
+	{"jardin du luxembourg", 9, 48.8462, 2.3372, 1, false, []int{2}},
+	{"jardin des tuileries", 9, 48.8634, 2.3275, 1, false, []int{2}},
+	{"jardin des plantes", 9, 48.8436, 2.3596, 1, false, nil},
+	{"jardin du palais royal", 9, 48.8650, 2.3378, 0.5, false, nil},
+	{"square du vert-galant", 9, 48.8574, 2.3406, 0.25, false, nil},
+	// Squares (theme 10).
+	{"place de la concorde", 10, 48.8656, 2.3212, 0.5, false, nil},
+	{"place des vosges", 10, 48.8557, 2.3655, 0.5, false, nil},
+	{"place vendôme", 10, 48.8675, 2.3294, 0.25, false, nil},
+	{"place du tertre", 10, 48.8865, 2.3407, 0.5, false, []int{4}},
+	{"place de la bastille", 10, 48.8532, 2.3692, 0.25, false, nil},
+	{"place de la république", 10, 48.8675, 2.3639, 0.25, false, nil},
+	{"trocadéro", 10, 48.8616, 2.2893, 0.5, false, nil},
+	// Streets (theme 11).
+	{"champs-élysées", 11, 48.8698, 2.3076, 1, false, nil},
+	{"rue des martyrs", 11, 48.8781, 2.3392, 0.75, false, nil},
+	{"rue de rivoli", 11, 48.8592, 2.3417, 0.75, false, nil},
+	{"rue cler", 11, 48.8567, 2.3056, 0.5, false, []int{12}},
+	{"rue mouffetard", 11, 48.8426, 2.3497, 0.5, false, []int{12}},
+	{"canal saint-martin", 11, 48.8710, 2.3655, 0.75, false, nil},
+	{"viaduc des arts", 11, 48.8474, 2.3743, 0.5, false, []int{4}},
+	// Restaurants (theme 12).
+	{"le cinq", 12, 48.8690, 2.3008, 1.5, false, nil},
+	{"le jules verne", 12, 48.8580, 2.2947, 1.5, false, nil},
+	{"café de flore", 12, 48.8542, 2.3326, 0.75, false, nil},
+	{"les deux magots", 12, 48.8540, 2.3333, 0.75, false, nil},
+	{"angelina paris", 12, 48.8651, 2.3284, 0.75, false, nil},
+	{"le procope", 12, 48.8531, 2.3390, 1, false, nil},
+	// Cemeteries (theme 13).
+	{"père lachaise cemetery", 13, 48.8610, 2.3933, 1.25, false, nil},
+	{"cimetière de montmartre", 13, 48.8877, 2.3306, 0.75, false, nil},
+	{"cimetière du montparnasse", 13, 48.8382, 2.3270, 0.75, false, nil},
+	// Theaters (theme 14).
+	{"comédie-française", 14, 48.8634, 2.3365, 1.5, false, nil},
+	{"théâtre du châtelet", 14, 48.8578, 2.3471, 1.5, false, nil},
+	{"opéra bastille", 14, 48.8520, 2.3700, 1.5, false, nil},
+	{"philharmonie de paris", 14, 48.8915, 2.3938, 1.5, false, nil},
+	// Towers (theme 15).
+	{"eiffel tower", 15, 48.8584, 2.2945, 2, true, []int{8}},
+	{"tour montparnasse", 15, 48.8421, 2.3219, 1, false, nil},
+	{"the river seine", 6, 48.8566, 2.3430, 1, false, nil},
+}

@@ -1,0 +1,233 @@
+package trip
+
+import (
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+)
+
+func TestCityShapes(t *testing.T) {
+	// §IV-A1: NYC has 90 POIs / 21 themes / 2908 itineraries; Paris has
+	// 114 POIs / 16 themes / 5494 itineraries.
+	cases := []struct {
+		city                      *CityData
+		pois, themes, itineraries int
+	}{
+		{NYC(), 90, 21, 2908},
+		{Paris(), 114, 16, 5494},
+	}
+	for _, tc := range cases {
+		in := tc.city.Instance
+		if got := in.Catalog.Len(); got != tc.pois {
+			t.Errorf("%s: %d POIs, want %d", in.Name, got, tc.pois)
+		}
+		if got := in.Catalog.Vocabulary().Len(); got != tc.themes {
+			t.Errorf("%s: %d themes, want %d", in.Name, got, tc.themes)
+		}
+		if got := len(tc.city.Itineraries); got != tc.itineraries {
+			t.Errorf("%s: %d itineraries, want %d", in.Name, got, tc.itineraries)
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", in.Name, err)
+		}
+	}
+}
+
+func TestPaperQuotedPOIsExist(t *testing.T) {
+	nyc := NYC().Instance.Catalog
+	for _, id := range []string{
+		"battery park", "brooklyn bridge", "colonnade row", "flatiron building",
+		"hudson river park", "rockefeller center", "museum of television and radio",
+		"new york university",
+	} {
+		if _, ok := nyc.Index(id); !ok {
+			t.Errorf("NYC missing paper POI %q", id)
+		}
+	}
+	paris := Paris().Instance.Catalog
+	for _, id := range []string{
+		"pont neuf", "promenade plantée", "sainte chapelle", "tour montparnasse",
+		"église st-eustache", "viaduc des arts", "église st-germain des prés",
+		"musée du luxembourg", "musée des égouts de paris", "église st-sulpice",
+		"eiffel tower", "louvre museum", "rue des martyrs", "le cinq",
+		"the river seine", "palais garnier", "cathédrale notre-dame de paris",
+	} {
+		if _, ok := paris.Index(id); !ok {
+			t.Errorf("Paris missing paper POI %q", id)
+		}
+	}
+}
+
+func TestHardConstraints(t *testing.T) {
+	in := Paris().Instance
+	h := in.Hard
+	// §IV-A1: the city datasets' hard constraint is the visitation time
+	// (plus d and the theme gap); the 2/3 split belongs to toy Example 2.
+	if h.Credits != 6 || h.Primary != 0 || h.Secondary != 0 || h.Gap != 1 {
+		t.Fatalf("P_hard = %s, want ⟨6, 0, 0, 1⟩", h)
+	}
+	if !h.ThemeGap {
+		t.Fatal("theme gap rule missing")
+	}
+	if h.MaxDistanceKm != 5 {
+		t.Fatalf("d = %v, want 5", h.MaxDistanceKm)
+	}
+	if in.GoldScore != 5 {
+		t.Fatalf("gold = %v, want 5", in.GoldScore)
+	}
+	d := in.Defaults
+	if d.Episodes != 500 || d.Alpha != 0.95 || d.Gamma != 0.75 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestPopularityScale(t *testing.T) {
+	for _, city := range []*CityData{NYC(), Paris()} {
+		in := city.Instance
+		var max float64
+		for i := 0; i < in.Catalog.Len(); i++ {
+			p := in.Catalog.At(i).Popularity
+			if p < 1 || p > 5 {
+				t.Fatalf("%s: popularity %v out of [1,5] for %s",
+					in.Name, p, in.Catalog.At(i).ID)
+			}
+			if p > max {
+				max = p
+			}
+		}
+		// The most-visited POI scores exactly 5 (the gold bound).
+		if max != 5 {
+			t.Fatalf("%s: max popularity = %v, want 5", in.Name, max)
+		}
+	}
+}
+
+func TestPrimariesAreTopAttractions(t *testing.T) {
+	// Primary POIs should end up among the most popular — the simulator
+	// ranks them first.
+	in := NYC().Instance
+	for _, i := range in.Catalog.Primaries() {
+		if p := in.Catalog.At(i).Popularity; p < 3 {
+			t.Errorf("primary %s popularity %v < 3", in.Catalog.At(i).ID, p)
+		}
+	}
+}
+
+func TestRestaurantsHaveMuseumAntecedents(t *testing.T) {
+	paris := Paris().Instance.Catalog
+	m, ok := paris.ByID("le cinq")
+	if !ok {
+		t.Fatal("le cinq missing")
+	}
+	refs := prereq.ReferencedItems(m.Prereq)
+	if len(refs) == 0 {
+		t.Fatal("restaurant has no antecedent")
+	}
+	for _, r := range refs {
+		ref, ok := paris.ByID(r)
+		if !ok {
+			t.Fatalf("antecedent %q not in catalog", r)
+		}
+		if ref.Category != 0 { // museum theme
+			t.Fatalf("antecedent %q is not a museum", r)
+		}
+	}
+}
+
+func TestGroupItinerariesRoundTrip(t *testing.T) {
+	city := NYC()
+	grouped := GroupItineraries(city.Photos)
+	if len(grouped) != len(city.Itineraries) {
+		t.Fatalf("grouped %d itineraries, simulated %d", len(grouped), len(city.Itineraries))
+	}
+	// Total POI visits must match the simulator's bookkeeping.
+	var simVisits, groupVisits int
+	for _, it := range city.Itineraries {
+		simVisits += len(it)
+	}
+	for _, it := range grouped {
+		groupVisits += len(it)
+	}
+	if simVisits != groupVisits {
+		t.Fatalf("visits: simulated %d, regrouped %d", simVisits, groupVisits)
+	}
+}
+
+func TestGroupItinerariesOrdering(t *testing.T) {
+	photos := []Photo{
+		{User: 1, Day: 0, POI: 2, Hour: 14},
+		{User: 1, Day: 0, POI: 0, Hour: 9},
+		{User: 1, Day: 0, POI: 0, Hour: 9.1}, // second photo, same POI
+		{User: 1, Day: 0, POI: 1, Hour: 11},
+		{User: 2, Day: 0, POI: 5, Hour: 10},
+	}
+	its := GroupItineraries(photos)
+	if len(its) != 2 {
+		t.Fatalf("itineraries = %v", its)
+	}
+	want := Itinerary{0, 1, 2}
+	if len(its[0]) != 3 {
+		t.Fatalf("first itinerary = %v", its[0])
+	}
+	for i := range want {
+		if its[0][i] != want[i] {
+			t.Fatalf("first itinerary = %v, want %v", its[0], want)
+		}
+	}
+}
+
+func TestItinerariesAreThemeDiverseMostly(t *testing.T) {
+	// The simulator discourages consecutive same-theme visits; over the
+	// whole log same-theme adjacency should be well under a third.
+	city := Paris()
+	defs := parisPOIs
+	var pairs, same int
+	for _, it := range city.Itineraries {
+		for i := 1; i < len(it); i++ {
+			pairs++
+			if defs[it[i]].cat == defs[it[i-1]].cat {
+				same++
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no adjacent pairs simulated")
+	}
+	if ratio := float64(same) / float64(pairs); ratio > 0.33 {
+		t.Fatalf("same-theme adjacency ratio = %.2f", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NYC(), NYC()
+	if len(a.Photos) != len(b.Photos) {
+		t.Fatal("photo logs differ across builds")
+	}
+	for i := 0; i < a.Instance.Catalog.Len(); i++ {
+		if a.Instance.Catalog.At(i).Popularity != b.Instance.Catalog.At(i).Popularity {
+			t.Fatal("popularity differs across builds")
+		}
+	}
+}
+
+func TestUnknownCity(t *testing.T) {
+	if _, err := City("Atlantis"); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+}
+
+func TestVisitTimesArePositive(t *testing.T) {
+	for _, city := range []*CityData{NYC(), Paris()} {
+		c := city.Instance.Catalog
+		for i := 0; i < c.Len(); i++ {
+			m := c.At(i)
+			if m.Credits <= 0 || m.Credits > 3 {
+				t.Errorf("%s: %s visit time %v", city.Instance.Name, m.ID, m.Credits)
+			}
+			if m.Type == item.Primary && m.Popularity < 1 {
+				t.Errorf("%s: primary %s popularity %v", city.Instance.Name, m.ID, m.Popularity)
+			}
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package univ synthesizes the two university datasets of §IV-A1.
+//
+// Univ-1 mirrors the NJIT extraction: a 1216-course catalog spanning 126
+// degree programs in 6 schools, with three focus M.S. programs — Data
+// Science Computational Track (31 courses), Cybersecurity (30) and
+// Computer Science (32). The focus programs embed the real course ids and
+// titles the paper quotes (Table VI and the robustness tables), completed
+// with realistic graduate courses; topic vocabularies are built from the
+// course titles exactly as §IV-A1 describes (noun-ish extraction plus
+// stopword removal via the textproc substrate).
+//
+// Univ-2 mirrors the Stanford extraction: a 3742-course catalog over 4
+// departments with an M.S. Data Science program of 36 courses organised in
+// the six sub-disciplines a–f the paper lists, each carrying one of the
+// w1..w6 reward weights.
+package univ
+
+// courseDef is one master-table course. The master table is the union of
+// courses that focus programs draw from; prerequisite expressions reference
+// master ids and are pruned to each program's subset at build time.
+type courseDef struct {
+	id     string
+	name   string
+	prereq string // AND/OR expression over master ids; "" = none
+	desc   string // one-line catalog description
+}
+
+// njitMaster is the Univ-1 master course table. It contains every course
+// id the paper quotes (CS 610/608/630/631/634/636/639/644/645/652/656/667/
+// 675/677/683/696/700B/704 and MATH 661) plus enough realistic graduate
+// courses to populate the three focus programs.
+var njitMaster = []courseDef{
+	{"CS 608", "Cryptography and Security", "",
+		"Symmetric and public-key cryptography, authentication protocols and their role in securing systems."},
+	{"CS 610", "Data Structures and Algorithms", "",
+		"Fundamental data structures, algorithm design paradigms and asymptotic analysis for graduate study."},
+	{"CS 630", "Operating System Design", "",
+		"Process management, scheduling, memory management and file systems in modern operating systems."},
+	{"CS 631", "Data Management System Design", "",
+		"Relational model, query processing, transactions and physical design of database management systems."},
+	{"CS 632", "Advanced Database System Design", "CS 631",
+		"Query optimization, distributed and parallel databases, and modern storage engines."},
+	{"CS 633", "Distributed Systems", "CS 630",
+		"Consistency, replication, fault tolerance and coordination in distributed systems."},
+	{"CS 634", "Data Mining", "CS 631 OR CS 636",
+		"Classification, clustering, association rules and evaluation methodology for mining large data sets."},
+	{"CS 636", "Data Analytics with R Programming", "",
+		"Exploratory analysis, statistical modeling and visualization workflows in the R ecosystem."},
+	{"CS 639", "Electronic Medical Records: Medical Terminologies and Computational Implementation", "",
+		"Medical terminologies, electronic record standards and their computational implementation."},
+	{"CS 643", "Cloud Computing", "CS 630",
+		"Virtualization, elastic resource management and programming models for cloud platforms."},
+	{"CS 644", "Introduction to Big Data", "CS 610 OR CS 636",
+		"Distributed storage and processing frameworks for very large data collections."},
+	{"CS 645", "Security and Privacy in Computer Systems", "",
+		"Threat models, access control, and privacy-preserving mechanisms in computer systems."},
+	{"CS 646", "Network Protocols Security", "CS 652 OR CS 656",
+		"Protocol-level attacks and defenses across the network stack."},
+	{"CS 647", "Counter Hacking Techniques", "CS 645",
+		"Offensive techniques, penetration testing and counter-hacking methodology."},
+	{"CS 648", "Digital Forensics", "CS 645 AND IS 680",
+		"Evidence acquisition, file-system forensics and incident reconstruction."},
+	{"CS 652", "Computer Networks: Architectures, Protocols and Standards", "",
+		"Layered architectures, routing, transport and standardization of computer networks."},
+	{"CS 656", "Internet and Higher-Layer Protocols", "",
+		"Internet addressing, inter-domain routing and higher-layer protocol design."},
+	{"CS 657", "Performance Modeling of Computer Networks", "CS 656",
+		"Analytic and simulation-based performance modeling of networked systems."},
+	{"CS 659", "Image Processing and Analysis", "",
+		"Filtering, segmentation and feature extraction for image analysis pipelines."},
+	{"CS 661", "Systems Simulation", "",
+		"Discrete-event simulation methodology, random variate generation and output analysis."},
+	{"CS 667", "Design Techniques for Algorithms", "CS 610",
+		"Greedy, divide-and-conquer, dynamic programming and approximation techniques for algorithm design."},
+	{"CS 668", "Parallel Algorithms", "CS 667",
+		"Work-depth analysis and algorithm design for shared- and distributed-memory parallel machines."},
+	{"CS 670", "Artificial Intelligence", "",
+		"Search, knowledge representation, planning and reasoning under uncertainty."},
+	{"CS 673", "Software Design and Production Methodology", "",
+		"Software lifecycle models, design methodology and production practices for large systems."},
+	{"CS 675", "Machine Learning", "",
+		"Supervised and unsupervised learning, model selection and generalization theory."},
+	// Deep Learning wants both Machine Learning and Linear Algebra first —
+	// the intro example's "take Linear Algebra before Machine Learning"
+	// dependency family.
+	{"CS 677", "Deep Learning", "CS 675 AND MATH 630",
+		"Neural architectures, backpropagation, convolutional and recurrent networks at scale."},
+	{"CS 678", "Reinforcement Learning", "CS 675",
+		"Markov decision processes, temporal-difference learning and policy optimization."},
+	{"CS 680", "Linux Kernel Programming", "CS 630",
+		"Kernel internals, modules and systems programming on Linux."},
+	{"CS 683", "Software Project Management", "",
+		"Planning, estimation, risk and team management for software projects."},
+	{"CS 684", "Software Testing and Quality Assurance", "CS 683",
+		"Test design, coverage criteria and quality assurance processes."},
+	{"CS 696", "Network Management and Security", "CS 652 OR CS 656",
+		"Network monitoring, management protocols and operational security."},
+	{"CS 698", "Data Visualization Techniques", "",
+		"Perception-driven design of charts, dashboards and interactive visual analytics."},
+	{"CS 700B", "Master's Project", "",
+		"Capstone master's project under faculty supervision."},
+	{"CS 704", "Special Topics in Data Science", "",
+		"Selected advanced topics at the research frontier of data science."},
+	{"CS 732", "Advanced Machine Learning", "CS 675",
+		"Kernel methods, ensembles, and statistical learning theory beyond the introductory course."},
+	{"CS 786", "Natural Language Processing", "CS 675",
+		"Statistical and neural methods for analyzing and generating natural language."},
+	{"MATH 611", "Numerical Methods for Computation", "",
+		"Numerical linear algebra, interpolation and quadrature with computational practice."},
+	{"MATH 630", "Linear Algebra and Applications", "",
+		"Vector spaces, eigenvalue problems and matrix decompositions with applications."},
+	{"MATH 644", "Regression Analysis Methods", "MATH 661",
+		"Linear and generalized regression models, diagnostics and model selection."},
+	{"MATH 661", "Applied Statistics", "",
+		"Estimation, hypothesis testing and experimental design for applied work."},
+	{"MATH 662", "Probability Distributions", "",
+		"Distribution theory, moment generating functions and limit theorems."},
+	{"MATH 665", "Statistical Inference", "MATH 661",
+		"Likelihood-based inference, sufficiency and asymptotic theory."},
+	{"MATH 678", "Optimization Methods", "",
+		"Convex optimization, duality and numerical methods for constrained problems."},
+	{"IS 601", "Web Systems Development", "",
+		"Full-stack web systems development with modern frameworks."},
+	{"IS 631", "Enterprise Database Management", "",
+		"Enterprise data architectures, warehousing and administration."},
+	{"IS 661", "Knowledge Management", "",
+		"Capture, organization and reuse of organizational knowledge."},
+	{"IS 663", "System Analysis and Design", "",
+		"Requirements elicitation, modeling and system design methods."},
+	{"IS 680", "Information Systems Auditing", "",
+		"Controls, compliance and audit methodology for information systems."},
+	{"IS 681", "Computer Security Auditing", "IS 680",
+		"Audit of security controls, vulnerability assessment and reporting."},
+	{"IS 682", "Forensic Auditing for Computing Security", "IS 680",
+		"Forensic auditing techniques for computing security investigations."},
+}
+
+// programSpec declares one Univ-1 focus program: which master courses it
+// contains and which of them are core (primary). Everything else in the
+// course list is an elective (secondary).
+type programSpec struct {
+	name    string
+	start   string // Table III / Table XI default starting course
+	courses []string
+	cores   []string
+}
+
+// univ1Programs defines the three Univ-1 focus programs of §IV-A1.
+// Course/core membership reflects the paper's transfer-learning plans:
+// CS 675 is core in DS-CT and an elective in M.S. CS, CS 610 core in M.S.
+// CS and an elective in DS-CT, and so on.
+var univ1Programs = []programSpec{
+	// Core sets are deliberately prerequisite-entangled: every program has
+	// exactly as many "easily placeable" cores as core slots, and some
+	// cores depend on specific electives or on core ordering. A myopic
+	// planner that sequences the wrong courses early finds the remaining
+	// core slots unsatisfiable — the lookahead RL-Planner learns and the
+	// greedy baselines lack (§IV-B).
+	{
+		name:  "Univ-1 M.S. DS-CT",
+		start: "CS 675",
+		courses: []string{
+			// 6 cores (CS 644 and CS 634 require CS 636 three slots
+			// earlier; CS 677 additionally needs the elective MATH 630).
+			"CS 675", "CS 677", "CS 644", "CS 636", "CS 634", "MATH 661",
+			// 25 electives.
+			"CS 610", "CS 608", "CS 630", "CS 631", "CS 633", "CS 639",
+			"CS 643", "CS 645", "CS 652", "CS 656", "CS 659", "CS 661",
+			"CS 667", "CS 670", "CS 673", "CS 683", "CS 696", "CS 698",
+			"CS 700B", "CS 704", "CS 732", "CS 786", "MATH 630", "MATH 644",
+			"MATH 662",
+		},
+		cores: []string{"CS 675", "CS 677", "CS 644", "CS 636", "CS 634", "MATH 661"},
+	},
+	{
+		name:  "Univ-1 M.S. Cybersecurity",
+		start: "CS 608",
+		courses: []string{
+			// 6 cores (CS 646 and CS 696 both funnel through CS 652;
+			// CS 648 additionally needs the elective IS 680).
+			"CS 608", "CS 645", "CS 652", "CS 646", "CS 696", "CS 648",
+			// 24 electives.
+			"CS 610", "CS 630", "CS 631", "CS 633", "CS 634", "CS 643",
+			"CS 644", "CS 647", "CS 656", "CS 657", "CS 661", "CS 667",
+			"CS 670", "CS 673", "CS 675", "CS 680", "CS 683", "CS 700B",
+			"IS 680", "IS 681", "IS 682", "IS 663", "MATH 661", "CS 684",
+		},
+		cores: []string{"CS 608", "CS 645", "CS 652", "CS 646", "CS 696", "CS 648"},
+	},
+	{
+		name:  "Univ-1 M.S. CS",
+		start: "CS 610",
+		courses: []string{
+			// 6 cores (CS 633 and CS 643 both funnel through CS 630;
+			// CS 677 additionally needs the elective CS 675).
+			"CS 610", "CS 630", "CS 700B", "CS 633", "CS 643", "CS 677",
+			// 26 electives.
+			"CS 608", "CS 631", "CS 632", "CS 634", "CS 636", "CS 639",
+			"CS 644", "CS 645", "CS 646", "CS 647", "CS 652", "CS 656",
+			"CS 657", "CS 659", "CS 661", "CS 667", "CS 668", "CS 670",
+			"CS 673", "CS 675", "CS 680", "CS 683", "CS 684", "CS 696",
+			"CS 704", "MATH 661",
+		},
+		cores: []string{"CS 610", "CS 630", "CS 700B", "CS 633", "CS 643", "CS 677"},
+	},
+}
+
+// stanfordCourse is one Univ-2 course: id, title, sub-discipline a–f
+// (encoded 0–5), whether it is core in the M.S. DS program, and its
+// prerequisite expression over Univ-2 ids.
+type stanfordCourse struct {
+	id     string
+	name   string
+	cat    int // 0=a Math/Stat, 1=b Experimentation, 2=c Scientific Computing, 3=d Applied ML & DS, 4=e Practical, 5=f Elective
+	core   bool
+	prereq string
+	desc   string // one-line catalog description
+}
+
+// stanfordDS is the Univ-2 M.S. Data Science program: 36 courses over the
+// six sub-disciplines of §IV-A1, including the start items of Table XIV
+// (STATS 263, MS&E 237).
+var stanfordDS = []stanfordCourse{
+	// a. Mathematical and Statistical Foundations.
+	{"STATS 200", "Introduction to Statistical Inference", 0, true, "",
+		"Point estimation, confidence intervals and testing from a rigorous foundation."},
+	{"CME 302", "Numerical Linear Algebra", 0, true, "",
+		"Direct and iterative methods for linear systems and eigenvalue problems."},
+	{"CME 200", "Linear Algebra with Application to Engineering Computations", 0, false, "",
+		"Matrix computations for engineering applications."},
+	{"MATH 230A", "Theory of Probability", 0, false, "",
+		"Measure-theoretic probability: laws of large numbers and central limit theory."},
+	{"STATS 217", "Introduction to Stochastic Processes", 0, false, "STATS 200",
+		"Markov chains, Poisson processes and renewal theory."},
+	{"STATS 305A", "Applied Statistics: Linear Models", 0, false, "STATS 200",
+		"Linear models, diagnostics and applied regression practice."},
+	{"CME 308", "Stochastic Methods in Engineering", 0, false, "MATH 230A",
+		"Stochastic modeling and Monte Carlo methods in engineering."},
+	// b. Experimentation.
+	{"STATS 263", "Design of Experiments", 1, true, "",
+		"Randomization, blocking, factorial designs and analysis of experiments."},
+	{"MS&E 237", "Experimental Design for Product Analytics", 1, false, "",
+		"Designing and analyzing product experiments at scale."},
+	{"STATS 209", "Causal Inference for Observational Studies", 1, false, "STATS 200",
+		"Potential outcomes, matching and sensitivity analysis for causal claims."},
+	// c. Scientific Computing.
+	{"CME 211", "Software Development for Scientists and Engineers", 2, true, "",
+		"Software engineering practice in Python and C++ for scientific computing."},
+	{"CME 212", "Advanced Software Development for Scientists and Engineers", 2, false, "CME 211",
+		"Performance, abstraction and generic programming for scientific codes."},
+	{"CME 213", "Introduction to Parallel Computing", 2, false, "CME 211",
+		"CUDA, OpenMP and MPI programming for numerical workloads."},
+	{"CS 149", "Parallel Computing", 2, false, "",
+		"Parallel architectures and programming models."},
+	{"CME 216", "Machine Learning for Computational Engineering", 2, false, "CME 211",
+		"Machine-learned surrogates and differentiable programming for engineering."},
+	// d. Applied Machine Learning and Data Science.
+	{"CS 229", "Machine Learning", 3, true, "",
+		"Supervised, unsupervised and reinforcement learning with their theory."},
+	{"CS 230", "Deep Learning", 3, true, "CS 229",
+		"Deep neural network design, optimization and practical methodology."},
+	{"CS 224N", "Natural Language Processing with Deep Learning", 3, false, "CS 229",
+		"Distributed word representations, attention and large language models."},
+	{"CS 231N", "Convolutional Neural Networks for Visual Recognition", 3, false, "CS 229",
+		"Convolutional architectures for recognition, detection and segmentation."},
+	{"CS 234", "Reinforcement Learning", 3, false, "CS 229",
+		"Policy evaluation, exploration and deep reinforcement learning."},
+	{"CS 246", "Mining Massive Data Sets", 3, false, "",
+		"Streaming, locality-sensitive hashing and large-graph algorithms."},
+	{"STATS 202", "Data Mining and Analysis", 3, false, "",
+		"Applied data mining and statistical learning with case studies."},
+	{"STATS 315A", "Modern Applied Statistics: Learning", 3, false, "STATS 305A",
+		"Modern statistical learning: regularization, trees and ensembles."},
+	{"CS 221", "Artificial Intelligence: Principles and Techniques", 3, false, "",
+		"Foundations of artificial intelligence: search, inference, learning."},
+	// e. Practical Component. CS 341 is a core that depends on the
+	// elective CS 246 — the lookahead dependency of this program.
+	{"STATS 390", "Statistical Consulting Workshop", 4, false, "STATS 200",
+		"Supervised consulting on real statistical problems."},
+	{"CS 341", "Project in Mining Massive Data Sets", 4, true, "CS 246 OR STATS 202",
+		"A quarter-long mining project on a real massive dataset."},
+	{"MS&E 108", "Industry Capstone Project in Data Science", 4, false, "",
+		"Industry-sponsored capstone in data science."},
+	// f. Electives in data science.
+	{"CS 145", "Data Management and Data Systems", 5, false, "",
+		"Relational databases, SQL and data system internals."},
+	{"CS 245", "Principles of Data-Intensive Systems", 5, false, "CS 145",
+		"Storage, indexing, query execution and transactional systems."},
+	{"CS 224W", "Machine Learning with Graphs", 5, false, "CS 229",
+		"Representation learning and analytics on graphs."},
+	{"CS 247", "Human-Computer Interaction Design Studio", 5, false, "",
+		"Studio practice in interaction design for data products."},
+	{"STATS 285", "Massive Computational Experiments in Data Science", 5, false, "STATS 200",
+		"Infrastructure and practice for massive computational experiments."},
+	{"BIODS 220", "Artificial Intelligence in Healthcare", 5, false, "CS 229",
+		"Machine learning applications across healthcare."},
+	{"MS&E 231", "Introduction to Computational Social Science", 5, false, "",
+		"Computational methods for social data."},
+	{"STATS 191", "Introduction to Applied Statistics", 5, false, "",
+		"Applied statistics with regression focus for beginners."},
+	{"CME 241", "Reinforcement Learning for Stochastic Control Problems in Finance", 5, false, "CS 229",
+		"Reinforcement learning methods for financial stochastic control."},
+}

@@ -1,0 +1,572 @@
+package univ
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/rlplanner/rlplanner/internal/bitset"
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+	"github.com/rlplanner/rlplanner/internal/textproc"
+	"github.com/rlplanner/rlplanner/internal/topics"
+)
+
+// CreditsPerCourse is the uniform graduate course credit value; 30
+// required credits therefore translate to trajectories of H = 10 courses
+// for Univ-1 (§III-A) and 45 credits to H = 15 for Univ-2.
+const CreditsPerCourse = 3
+
+// univ1Hard is P_hard for every Univ-1 program: ⟨30, 5, 5, 3⟩ (§II-B.1).
+func univ1Hard() constraints.Hard {
+	return constraints.Hard{
+		Credits:    30,
+		CreditMode: constraints.MinCredits,
+		Primary:    5,
+		Secondary:  5,
+		Gap:        3,
+	}
+}
+
+// univ1Defaults are the Table III defaults for Univ-1: N = 500, α = 0.75,
+// γ = 0.95, ε = 0.0025, δ/β = 0.8/0.2 and the best Univ-1 type weights
+// w1/w2 = 0.6/0.4 (Table XI).
+func univ1Defaults() dataset.Defaults {
+	return dataset.Defaults{
+		Episodes: 500,
+		Alpha:    0.75,
+		Gamma:    0.95,
+		Epsilon:  0.0025,
+		Delta:    0.8, Beta: 0.2,
+		W1: 0.6, W2: 0.4,
+		Sim: seqsim.Average,
+	}
+}
+
+// masterByID indexes the Univ-1 master table.
+var masterByID = func() map[string]courseDef {
+	m := make(map[string]courseDef, len(njitMaster))
+	for _, c := range njitMaster {
+		if _, dup := m[c.id]; dup {
+			panic(fmt.Sprintf("univ: duplicate master id %s", c.id))
+		}
+		m[c.id] = c
+	}
+	return m
+}()
+
+// pruneExpr restricts a prerequisite expression to a program's course set:
+// references to courses outside the program are dropped (an OR can be
+// satisfied by any remaining branch; an AND only constrains the branches
+// that exist in the program). It returns nil when nothing remains.
+func pruneExpr(e prereq.Expr, has func(string) bool) prereq.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case prereq.Ref:
+		if has(string(x)) {
+			return x
+		}
+		return nil
+	case prereq.And:
+		var kept prereq.And
+		for _, sub := range x {
+			if p := pruneExpr(sub, has); p != nil {
+				kept = append(kept, p)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return nil
+		case 1:
+			return kept[0]
+		default:
+			return kept
+		}
+	case prereq.Or:
+		var kept prereq.Or
+		for _, sub := range x {
+			if p := pruneExpr(sub, has); p != nil {
+				kept = append(kept, p)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return nil
+		case 1:
+			return kept[0]
+		default:
+			return kept
+		}
+	default:
+		panic(fmt.Sprintf("univ: unknown expression type %T", e))
+	}
+}
+
+// buildProgram assembles one Univ-1 focus program instance from its spec.
+func buildProgram(spec programSpec) (*dataset.Instance, error) {
+	inProgram := make(map[string]bool, len(spec.courses))
+	for _, id := range spec.courses {
+		if _, ok := masterByID[id]; !ok {
+			return nil, fmt.Errorf("univ: program %s references unknown course %s", spec.name, id)
+		}
+		if inProgram[id] {
+			return nil, fmt.Errorf("univ: program %s lists %s twice", spec.name, id)
+		}
+		inProgram[id] = true
+	}
+	core := make(map[string]bool, len(spec.cores))
+	for _, id := range spec.cores {
+		if !inProgram[id] {
+			return nil, fmt.Errorf("univ: program %s core %s not in course list", spec.name, id)
+		}
+		core[id] = true
+	}
+
+	// Topic vocabulary from course titles (§IV-A1).
+	titles := make([]string, len(spec.courses))
+	for i, id := range spec.courses {
+		titles[i] = masterByID[id].name
+	}
+	vocab, err := topics.NewVocabulary(textproc.BuildVocabulary(titles))
+	if err != nil {
+		return nil, err
+	}
+
+	// Courses cover more topics than their titles name (the paper's Table
+	// II has Data Mining covering Classification and Clustering): syllabus
+	// topics are drawn deterministically from the program vocabulary. The
+	// resulting overlap saturates T_current over a plan, which is what
+	// makes the ε coverage gate bind in the later plan positions.
+	syllabus := rand.New(rand.NewSource(int64(len(spec.name)) + 0x5EED))
+
+	items := make([]item.Item, 0, len(spec.courses))
+	for _, id := range spec.courses {
+		def := masterByID[id]
+		vec, err := vocab.Vector(textproc.ExtractTopics(def.name)...)
+		if err != nil {
+			return nil, err
+		}
+		for extra := 4 + syllabus.Intn(3); extra > 0; extra-- {
+			vec.Set(skewedTopic(syllabus, vocab.Len()))
+		}
+		expr, err := prereq.Parse(def.prereq)
+		if err != nil {
+			return nil, fmt.Errorf("univ: %s prereq: %w", id, err)
+		}
+		ty := item.Secondary
+		if core[id] {
+			ty = item.Primary
+		}
+		items = append(items, item.Item{
+			ID:          id,
+			Name:        def.name,
+			Description: def.desc,
+			Type:        ty,
+			Credits:     CreditsPerCourse,
+			Prereq:      pruneExpr(expr, func(ref string) bool { return inProgram[ref] }),
+			Topics:      vec,
+			Category:    item.NoCategory,
+		})
+	}
+	catalog, err := item.NewCatalog(vocab, items)
+	if err != nil {
+		return nil, err
+	}
+
+	hard := univ1Hard()
+	// T_ideal covers the program's full topic set (§IV-A3 sets |T_ideal|
+	// to the program's distinct-topic count).
+	ideal := bitset.New(vocab.Len())
+	for i := 0; i < vocab.Len(); i++ {
+		ideal.Set(i)
+	}
+	inst := &dataset.Instance{
+		Name:         spec.name,
+		Kind:         dataset.CoursePlanning,
+		Catalog:      catalog,
+		Hard:         hard,
+		Soft:         constraints.Soft{Ideal: ideal, Template: dataset.MakeTemplate(hard.Primary, hard.Secondary)},
+		DefaultStart: spec.start,
+		Defaults:     univ1Defaults(),
+		GoldScore:    10,
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// skewedTopic samples a vocabulary index with a Zipf-like skew toward the
+// low indices: syllabus topics cluster on a program's hot themes (every
+// data-science course touches "data", "learning", …), so the shared hot
+// region saturates as a plan grows and the ε coverage gate starts to bind
+// in the later plan positions — the behaviour the robustness study's ε
+// sweep exhibits.
+func skewedTopic(rng *rand.Rand, n int) int {
+	i := int(float64(n) * math.Pow(rng.Float64(), 2.5))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// mustBuild panics on generator bugs — the specs are compile-time data.
+func mustBuild(spec programSpec) *dataset.Instance {
+	inst, err := buildProgram(spec)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Univ1DSCT returns the Univ-1 M.S. Data Science (Computational Track)
+// instance: 31 courses.
+func Univ1DSCT() *dataset.Instance { return mustBuild(univ1Programs[0]) }
+
+// Univ1Cyber returns the Univ-1 M.S. Cybersecurity instance: 30 courses.
+func Univ1Cyber() *dataset.Instance { return mustBuild(univ1Programs[1]) }
+
+// Univ1CS returns the Univ-1 M.S. Computer Science instance: 32 courses.
+func Univ1CS() *dataset.Instance { return mustBuild(univ1Programs[2]) }
+
+// Univ1All returns the three Univ-1 focus programs.
+func Univ1All() []*dataset.Instance {
+	return []*dataset.Instance{Univ1DSCT(), Univ1Cyber(), Univ1CS()}
+}
+
+// Univ2DS returns the Univ-2 (Stanford-style) M.S. Data Science instance:
+// 36 courses in six sub-disciplines, Hard = ⟨45, 7, 8, 3⟩, trajectories of
+// H = 15 courses, category reward weights w1..w6 of Table III.
+func Univ2DS() *dataset.Instance {
+	titles := make([]string, len(stanfordDS))
+	for i, c := range stanfordDS {
+		titles[i] = c.name
+	}
+	vocab, err := topics.NewVocabulary(textproc.BuildVocabulary(titles))
+	if err != nil {
+		panic(err)
+	}
+	inProgram := make(map[string]bool, len(stanfordDS))
+	for _, c := range stanfordDS {
+		inProgram[c.id] = true
+	}
+
+	// Syllabus topics beyond the title, as for Univ-1 (see buildProgram).
+	syllabus := rand.New(rand.NewSource(0x5EED2))
+
+	items := make([]item.Item, 0, len(stanfordDS))
+	for _, c := range stanfordDS {
+		vec, err := vocab.Vector(textproc.ExtractTopics(c.name)...)
+		if err != nil {
+			panic(err)
+		}
+		for extra := 4 + syllabus.Intn(3); extra > 0; extra-- {
+			vec.Set(skewedTopic(syllabus, vocab.Len()))
+		}
+		expr, err := prereq.Parse(c.prereq)
+		if err != nil {
+			panic(fmt.Sprintf("univ: %s prereq: %v", c.id, err))
+		}
+		ty := item.Secondary
+		if c.core {
+			ty = item.Primary
+		}
+		items = append(items, item.Item{
+			ID:          c.id,
+			Name:        c.name,
+			Description: c.desc,
+			Type:        ty,
+			Credits:     CreditsPerCourse,
+			Prereq:      pruneExpr(expr, func(ref string) bool { return inProgram[ref] }),
+			Topics:      vec,
+			Category:    c.cat,
+		})
+	}
+	catalog, err := item.NewCatalog(vocab, items)
+	if err != nil {
+		panic(err)
+	}
+
+	hard := constraints.Hard{
+		Credits:    45,
+		CreditMode: constraints.MinCredits,
+		Primary:    7,
+		Secondary:  8,
+		Gap:        3,
+	}
+	ideal := bitset.New(vocab.Len())
+	for i := 0; i < vocab.Len(); i++ {
+		ideal.Set(i)
+	}
+	inst := &dataset.Instance{
+		Name:         "Univ-2 M.S. DS",
+		Kind:         dataset.CoursePlanning,
+		Catalog:      catalog,
+		Hard:         hard,
+		Soft:         constraints.Soft{Ideal: ideal, Template: dataset.MakeTemplate(hard.Primary, hard.Secondary)},
+		DefaultStart: "STATS 263",
+		Defaults: dataset.Defaults{
+			Episodes: 100,
+			Alpha:    0.75,
+			Gamma:    0.95,
+			Epsilon:  0.0025,
+			Delta:    0.8, Beta: 0.2,
+			W1: 0.6, W2: 0.4,
+			CategoryWeights: []float64{0.25, 0.01, 0.15, 0.42, 0.01, 0.16},
+			Sim:             seqsim.Average,
+		},
+		GoldScore: 15,
+	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// SubDisciplines names the Univ-2 categories a–f in index order.
+func SubDisciplines() []string {
+	return []string{
+		"a. Mathematical and Statistical Foundations",
+		"b. Experimentation",
+		"c. Scientific Computing",
+		"d. Applied Machine Learning and Data Science",
+		"e. Practical Component",
+		"f. Elective in Data Science",
+	}
+}
+
+// University is a whole-catalog summary used by the datagen tool and the
+// scalability study: every course of the institution plus the program →
+// course-id mapping.
+type University struct {
+	// Name identifies the institution ("Univ-1" / "Univ-2").
+	Name string
+	// Catalog holds every course.
+	Catalog *item.Catalog
+	// Programs maps program names to the course ids they comprise.
+	Programs map[string][]string
+	// Schools lists the schools/colleges (Univ-1) or departments (Univ-2).
+	Schools []string
+}
+
+// univ1Schools are the six Univ-1 schools and their subject prefixes.
+var univ1Schools = []struct {
+	name     string
+	subjects []string
+}{
+	{"Ying Wu College of Computing", []string{"CS", "IS", "DS", "IT"}},
+	{"College of Science and Liberal Arts", []string{"MATH", "PHYS", "CHEM", "BIO", "HUM"}},
+	{"Newark College of Engineering", []string{"ECE", "ME", "CE", "BME"}},
+	{"Martin Tuchman School of Management", []string{"MGMT", "FIN", "MIS"}},
+	{"Hillier College of Architecture and Design", []string{"ARCH", "ID"}},
+	{"Albert Dorman Honors College", []string{"HON", "SS"}},
+}
+
+// subjectWords supplies topical word pools for generated course titles.
+var subjectWords = map[string][]string{
+	"CS":   {"algorithms", "systems", "compilers", "graphics", "networks", "databases", "computing", "programming", "verification", "robotics"},
+	"IS":   {"information", "systems", "analytics", "management", "auditing", "security", "usability", "governance"},
+	"DS":   {"data", "science", "statistics", "learning", "visualization", "mining", "inference", "modeling"},
+	"IT":   {"infrastructure", "administration", "networking", "virtualization", "scripting", "operations"},
+	"MATH": {"calculus", "algebra", "analysis", "probability", "statistics", "geometry", "topology", "equations"},
+	"PHYS": {"mechanics", "optics", "thermodynamics", "electromagnetism", "quantum", "relativity"},
+	"CHEM": {"chemistry", "organic", "inorganic", "spectroscopy", "kinetics", "polymers"},
+	"BIO":  {"biology", "genetics", "ecology", "microbiology", "biochemistry", "physiology"},
+	"HUM":  {"literature", "philosophy", "history", "writing", "rhetoric", "culture"},
+	"ECE":  {"circuits", "signals", "electronics", "communication", "control", "microprocessors", "power"},
+	"ME":   {"dynamics", "thermodynamics", "materials", "manufacturing", "vibrations", "design"},
+	"CE":   {"structures", "geotechnics", "transportation", "hydraulics", "construction", "surveying"},
+	"BME":  {"biomechanics", "imaging", "biomaterials", "instrumentation", "physiology", "devices"},
+	"MGMT": {"management", "strategy", "organization", "leadership", "entrepreneurship", "operations"},
+	"FIN":  {"finance", "investments", "markets", "valuation", "derivatives", "banking"},
+	"MIS":  {"information", "enterprise", "analytics", "commerce", "integration", "processes"},
+	"ARCH": {"architecture", "urbanism", "structures", "drawing", "preservation", "housing"},
+	"ID":   {"design", "interaction", "prototyping", "fabrication", "ergonomics", "typography"},
+	"HON":  {"research", "colloquium", "ethics", "innovation", "scholarship"},
+	"SS":   {"sociology", "economics", "psychology", "policy", "anthropology"},
+}
+
+var titleModifiers = []string{"", "Graduate", "Modern", "Computational", "Quantitative", "Experimental"}
+
+// FullUniv1 generates the complete Univ-1 institution: 1216 courses across
+// 126 degree programs in 6 schools (§IV-A1). The generation is
+// deterministic; the focus-program courses of njitMaster are included
+// verbatim.
+func FullUniv1() *University {
+	return generateUniversity("Univ-1", 1216, 126, univ1Schools, njitMaster, 0x11)
+}
+
+// univ2Departments are the four Univ-2 departments of §IV-A1.
+var univ2Departments = []struct {
+	name     string
+	subjects []string
+}{
+	{"Statistics", []string{"STATS"}},
+	{"Computer Science", []string{"CS"}},
+	{"Institute for Computational and Mathematical Engineering", []string{"CME"}},
+	{"Management Science and Engineering", []string{"MS&E"}},
+}
+
+// FullUniv2 generates the complete Univ-2 extraction: 3742 courses over 4
+// data-science-related departments.
+func FullUniv2() *University {
+	master := make([]courseDef, len(stanfordDS))
+	for i, c := range stanfordDS {
+		master[i] = courseDef{id: c.id, name: c.name, prereq: c.prereq}
+	}
+	extraWords := map[string][]string{
+		"STATS": {"statistics", "inference", "probability", "sampling", "bayesian", "regression", "biostatistics", "time", "series"},
+		"CME":   {"computation", "numerics", "optimization", "simulation", "parallelism", "modeling"},
+		"MS&E":  {"decision", "optimization", "policy", "markets", "operations", "risk", "analytics"},
+	}
+	for k, v := range extraWords {
+		if _, ok := subjectWords[k]; !ok {
+			subjectWords[k] = v
+		}
+	}
+	return generateUniversity("Univ-2", 3742, 4, univ2Departments, master, 0x22)
+}
+
+// generateUniversity synthesizes an institution of the requested size.
+func generateUniversity(name string, totalCourses, totalPrograms int,
+	schools []struct {
+		name     string
+		subjects []string
+	}, master []courseDef, seed int64) *University {
+
+	rng := rand.New(rand.NewSource(seed))
+	var defs []courseDef
+	seen := make(map[string]bool)
+	for _, c := range master {
+		defs = append(defs, c)
+		seen[c.id] = true
+	}
+
+	// Round-robin subjects across schools until the course total is met.
+	var subjects []string
+	for _, s := range schools {
+		subjects = append(subjects, s.subjects...)
+	}
+	num := 500
+	for len(defs) < totalCourses {
+		subj := subjects[len(defs)%len(subjects)]
+		id := fmt.Sprintf("%s %d", subj, num+rng.Intn(5))
+		num += 1 + rng.Intn(3)
+		if num > 999 {
+			num = 100
+		}
+		// Small subject sets (Univ-2 has four departments) can exhaust the
+		// numeric id space; section suffixes extend it.
+		for _, suffix := range []string{"", "A", "B", "C", "D"} {
+			if !seen[id+suffix] {
+				id += suffix
+				break
+			}
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		defs = append(defs, courseDef{id: id, name: generatedTitle(rng, subj)})
+	}
+
+	// Vocabulary and items over the whole institution.
+	titles := make([]string, len(defs))
+	for i, d := range defs {
+		titles[i] = d.name
+	}
+	vocab, err := topics.NewVocabulary(textproc.BuildVocabulary(titles))
+	if err != nil {
+		panic(err)
+	}
+	items := make([]item.Item, len(defs))
+	inAll := func(string) bool { return true }
+	for i, d := range defs {
+		vec, err := vocab.Vector(textproc.ExtractTopics(d.name)...)
+		if err != nil {
+			panic(err)
+		}
+		expr, err := prereq.Parse(d.prereq)
+		if err != nil {
+			panic(err)
+		}
+		// Drop prereqs whose targets the generator did not emit.
+		expr = pruneExpr(expr, func(ref string) bool { return seen[ref] && inAll(ref) })
+		items[i] = item.Item{
+			ID: d.id, Name: d.name, Type: item.Secondary,
+			Credits: CreditsPerCourse, Prereq: expr, Topics: vec,
+			Category: item.NoCategory,
+		}
+	}
+	catalog, err := item.NewCatalog(vocab, items)
+	if err != nil {
+		panic(err)
+	}
+
+	// Assign programs: each draws 8–40 courses, preferring one subject.
+	programs := make(map[string][]string, totalPrograms)
+	levels := []string{"B.S.", "M.S.", "Ph.D."}
+	for p := 0; p < totalPrograms; p++ {
+		subj := subjects[p%len(subjects)]
+		level := levels[p%len(levels)]
+		pname := fmt.Sprintf("%s %s Program %d", level, subj, p+1)
+		n := 8 + rng.Intn(33)
+		var ids []string
+		for _, d := range defs {
+			if len(ids) >= n {
+				break
+			}
+			if matchesSubject(d.id, subj) || rng.Intn(8) == 0 {
+				ids = append(ids, d.id)
+			}
+		}
+		programs[pname] = ids
+	}
+
+	schoolNames := make([]string, len(schools))
+	for i, s := range schools {
+		schoolNames[i] = s.name
+	}
+	return &University{Name: name, Catalog: catalog, Programs: programs, Schools: schoolNames}
+}
+
+// matchesSubject reports whether a course id belongs to the subject prefix.
+func matchesSubject(id, subj string) bool {
+	return len(id) > len(subj) && id[:len(subj)] == subj && id[len(subj)] == ' '
+}
+
+// generatedTitle builds a plausible course title from the subject's word
+// pool.
+func generatedTitle(rng *rand.Rand, subj string) string {
+	words := subjectWords[subj]
+	if len(words) == 0 {
+		words = []string{"studies", "methods", "practice"}
+	}
+	mod := titleModifiers[rng.Intn(len(titleModifiers))]
+	a := words[rng.Intn(len(words))]
+	b := words[rng.Intn(len(words))]
+	title := titleCase(a)
+	if b != a {
+		title += " and " + titleCase(b)
+	}
+	if mod != "" {
+		title = mod + " " + title
+	}
+	return title
+}
+
+// titleCase upper-cases the first rune of an ASCII word.
+func titleCase(w string) string {
+	if w == "" {
+		return w
+	}
+	b := []byte(w)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

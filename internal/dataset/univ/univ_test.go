@@ -1,0 +1,291 @@
+package univ
+
+import (
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+)
+
+func TestUniv1ProgramSizes(t *testing.T) {
+	// §IV-A1: 31, 30, 32 courses for DS-CT, Cybersecurity, CS.
+	cases := []struct {
+		inst    *dataset.Instance
+		courses int
+	}{
+		{Univ1DSCT(), 31},
+		{Univ1Cyber(), 30},
+		{Univ1CS(), 32},
+	}
+	for _, tc := range cases {
+		if got := tc.inst.Catalog.Len(); got != tc.courses {
+			t.Errorf("%s: %d courses, want %d", tc.inst.Name, got, tc.courses)
+		}
+		if err := tc.inst.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.inst.Name, err)
+		}
+	}
+}
+
+func TestUniv1TopicCounts(t *testing.T) {
+	// The paper reports 60, 61, 100 distinct topics. Our title-derived
+	// vocabularies land at 60 (exact), 53 and 61; the counts are pinned so
+	// regressions in the extraction pipeline are caught. EXPERIMENTS.md
+	// documents the deviation for Cybersecurity and CS.
+	cases := []struct {
+		inst   *dataset.Instance
+		topics int
+	}{
+		{Univ1DSCT(), 60},
+		{Univ1Cyber(), 53},
+		{Univ1CS(), 61},
+	}
+	for _, tc := range cases {
+		if got := tc.inst.Catalog.Vocabulary().Len(); got != tc.topics {
+			t.Errorf("%s: %d topics, want %d", tc.inst.Name, got, tc.topics)
+		}
+	}
+}
+
+func TestUniv1HardConstraints(t *testing.T) {
+	inst := Univ1DSCT()
+	h := inst.Hard
+	if h.Credits != 30 || h.Primary != 5 || h.Secondary != 5 || h.Gap != 3 {
+		t.Fatalf("P_hard = %s, want ⟨30, 5, 5, 3⟩", h)
+	}
+	if inst.GoldScore != 10 {
+		t.Fatalf("gold score = %v, want 10", inst.GoldScore)
+	}
+	if inst.Defaults.Episodes != 500 || inst.Defaults.Alpha != 0.75 || inst.Defaults.Gamma != 0.95 {
+		t.Fatalf("defaults = %+v", inst.Defaults)
+	}
+}
+
+func TestTableVICoursesPresent(t *testing.T) {
+	// Every course id of Table VI must exist in the right program with the
+	// right title.
+	dsct := Univ1DSCT()
+	for id, name := range map[string]string{
+		"CS 675":   "Machine Learning",
+		"CS 677":   "Deep Learning",
+		"CS 644":   "Introduction to Big Data",
+		"MATH 661": "Applied Statistics",
+		"CS 636":   "Data Analytics with R Programming",
+		"CS 683":   "Software Project Management",
+	} {
+		m, ok := dsct.Catalog.ByID(id)
+		if !ok {
+			t.Errorf("DS-CT missing %s", id)
+			continue
+		}
+		if m.Name != name {
+			t.Errorf("%s name = %q, want %q", id, m.Name, name)
+		}
+	}
+	cs := Univ1CS()
+	for _, id := range []string{"CS 610", "CS 608", "CS 656", "CS 667", "CS 652",
+		"CS 634", "CS 675", "CS 631", "CS 630", "CS 700B"} {
+		if _, ok := cs.Catalog.ByID(id); !ok {
+			t.Errorf("M.S. CS missing %s", id)
+		}
+	}
+}
+
+func TestCoreEleectiveRolesMatchTransferTable(t *testing.T) {
+	// Table V: CS 675 is core in DS-CT but elective in M.S. CS; CS 610 is
+	// core in M.S. CS but elective in DS-CT.
+	dsct, cs := Univ1DSCT(), Univ1CS()
+	check := func(inst *dataset.Instance, id string, want item.Type) {
+		t.Helper()
+		m, ok := inst.Catalog.ByID(id)
+		if !ok {
+			t.Fatalf("%s missing %s", inst.Name, id)
+		}
+		if m.Type != want {
+			t.Errorf("%s %s type = %v, want %v", inst.Name, id, m.Type, want)
+		}
+	}
+	check(dsct, "CS 675", item.Primary)
+	check(cs, "CS 675", item.Secondary)
+	check(cs, "CS 610", item.Primary)
+	check(dsct, "CS 610", item.Secondary)
+}
+
+func TestDefaultStartsAreCores(t *testing.T) {
+	// Templates begin with a primary item, so the Table XI/XIV starting
+	// points must be core courses.
+	for _, inst := range append(Univ1All(), Univ2DS()) {
+		m, ok := inst.Catalog.ByID(inst.DefaultStart)
+		if !ok {
+			t.Fatalf("%s: start %q missing", inst.Name, inst.DefaultStart)
+		}
+		if m.Type != item.Primary {
+			t.Errorf("%s: start %s is %v", inst.Name, inst.DefaultStart, m.Type)
+		}
+	}
+}
+
+func TestPrereqsPrunedToProgram(t *testing.T) {
+	// Every prerequisite reference inside a program must resolve within it
+	// (catalog construction enforces this; double-check explicitly).
+	for _, inst := range append(Univ1All(), Univ2DS()) {
+		for i := 0; i < inst.Catalog.Len(); i++ {
+			m := inst.Catalog.At(i)
+			for _, ref := range prereq.ReferencedItems(m.Prereq) {
+				if _, ok := inst.Catalog.Index(ref); !ok {
+					t.Errorf("%s: %s references %s outside program", inst.Name, m.ID, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestUniv2Shape(t *testing.T) {
+	inst := Univ2DS()
+	if inst.Catalog.Len() != 36 {
+		t.Fatalf("Univ-2 has %d courses, want 36", inst.Catalog.Len())
+	}
+	if inst.Hard.Primary != 7 || inst.Hard.Secondary != 8 || inst.Hard.Credits != 45 {
+		t.Fatalf("Univ-2 P_hard = %s", inst.Hard)
+	}
+	if inst.GoldScore != 15 {
+		t.Fatalf("gold = %v, want 15", inst.GoldScore)
+	}
+	if len(inst.Defaults.CategoryWeights) != 6 {
+		t.Fatalf("category weights = %v", inst.Defaults.CategoryWeights)
+	}
+	if inst.Defaults.Episodes != 100 {
+		t.Fatalf("N = %d, want 100", inst.Defaults.Episodes)
+	}
+	// Every course must carry a valid sub-discipline.
+	counts := make([]int, 6)
+	for i := 0; i < inst.Catalog.Len(); i++ {
+		cat := inst.Catalog.At(i).Category
+		if cat < 0 || cat > 5 {
+			t.Fatalf("course %s has category %d", inst.Catalog.At(i).ID, cat)
+		}
+		counts[cat]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("sub-discipline %s has no courses", SubDisciplines()[c])
+		}
+	}
+	if len(SubDisciplines()) != 6 {
+		t.Fatal("want 6 sub-disciplines")
+	}
+}
+
+func TestPruneExpr(t *testing.T) {
+	has := func(ok ...string) func(string) bool {
+		set := map[string]bool{}
+		for _, s := range ok {
+			set[s] = true
+		}
+		return func(id string) bool { return set[id] }
+	}
+	e := prereq.MustParse("A OR B")
+	if got := pruneExpr(e, has("B")); prereq.Format(got) != "[B]" {
+		t.Fatalf("OR prune = %s", prereq.Format(got))
+	}
+	if got := pruneExpr(e, has()); got != nil {
+		t.Fatalf("full OR prune = %v", got)
+	}
+	e = prereq.MustParse("A AND B")
+	if got := pruneExpr(e, has("A")); prereq.Format(got) != "[A]" {
+		t.Fatalf("AND prune = %s", prereq.Format(got))
+	}
+	e = prereq.MustParse("(A OR B) AND C")
+	got := pruneExpr(e, has("A", "C"))
+	if prereq.Format(got) != "[A AND C]" {
+		t.Fatalf("nested prune = %s", prereq.Format(got))
+	}
+	if pruneExpr(nil, has("A")) != nil {
+		t.Fatal("nil prune should be nil")
+	}
+}
+
+func TestFullUniv1Shape(t *testing.T) {
+	u := FullUniv1()
+	if u.Catalog.Len() != 1216 {
+		t.Fatalf("FullUniv1 = %d courses, want 1216", u.Catalog.Len())
+	}
+	if len(u.Programs) != 126 {
+		t.Fatalf("FullUniv1 = %d programs, want 126", len(u.Programs))
+	}
+	if len(u.Schools) != 6 {
+		t.Fatalf("FullUniv1 = %d schools, want 6", len(u.Schools))
+	}
+	// The real master courses are included verbatim.
+	if _, ok := u.Catalog.ByID("CS 675"); !ok {
+		t.Fatal("master course CS 675 missing from full catalog")
+	}
+	for name, ids := range u.Programs {
+		if len(ids) == 0 {
+			t.Fatalf("program %s is empty", name)
+		}
+		for _, id := range ids {
+			if _, ok := u.Catalog.Index(id); !ok {
+				t.Fatalf("program %s references unknown %s", name, id)
+			}
+		}
+	}
+}
+
+func TestFullUniv2Shape(t *testing.T) {
+	u := FullUniv2()
+	if u.Catalog.Len() != 3742 {
+		t.Fatalf("FullUniv2 = %d courses, want 3742", u.Catalog.Len())
+	}
+	if len(u.Programs) != 4 {
+		t.Fatalf("FullUniv2 = %d programs, want 4", len(u.Programs))
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, b := FullUniv1(), FullUniv1()
+	if a.Catalog.Len() != b.Catalog.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := 0; i < a.Catalog.Len(); i++ {
+		if a.Catalog.At(i).ID != b.Catalog.At(i).ID || a.Catalog.At(i).Name != b.Catalog.At(i).Name {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a.Catalog.At(i), b.Catalog.At(i))
+		}
+	}
+}
+
+func TestGoldFeasibility(t *testing.T) {
+	// Each program must admit at least one constraint-perfect plan; verify
+	// constructively that enough prereq-free cores and electives exist to
+	// fill a 5+5 (or 7+8) plan with gaps satisfiable.
+	for _, inst := range append(Univ1All(), Univ2DS()) {
+		var freeCores, freeElectives int
+		for i := 0; i < inst.Catalog.Len(); i++ {
+			m := inst.Catalog.At(i)
+			if m.Prereq != nil {
+				continue
+			}
+			if m.Type == item.Primary {
+				freeCores++
+			} else {
+				freeElectives++
+			}
+		}
+		// Within the first gap positions no prerequisite can be satisfied,
+		// so a perfect plan needs some prereq-free items up front; cores
+		// with prerequisites can occupy later slots. (The gold synthesizer
+		// test proves full feasibility constructively.)
+		if freeCores < 2 {
+			t.Errorf("%s: only %d prereq-free cores", inst.Name, freeCores)
+		}
+		if freeElectives < inst.Hard.Gap {
+			t.Errorf("%s: only %d prereq-free electives for gap %d",
+				inst.Name, freeElectives, inst.Hard.Gap)
+		}
+		if inst.Catalog.NumPrimary() < inst.Hard.Primary {
+			t.Errorf("%s: %d cores for %d primary slots",
+				inst.Name, inst.Catalog.NumPrimary(), inst.Hard.Primary)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package eval_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/baselines/gold"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/eval"
+)
+
+func ids(t *testing.T, inst *dataset.Instance, names ...string) []int {
+	t.Helper()
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, ok := inst.Catalog.Index(n)
+		if !ok {
+			t.Fatalf("unknown %q", n)
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+func TestGoldPlanScoresPerfect(t *testing.T) {
+	// The executable Theorem 1 + gold bound: the gold synthesizer's course
+	// plan matches a template exactly and satisfies P_hard, so Score = H.
+	for _, inst := range []*dataset.Instance{univ.Univ1DSCT(), univ.Univ1Cyber(), univ.Univ1CS()} {
+		plan, err := gold.Plan(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		d := eval.Evaluate(inst, plan)
+		if len(d.Violations) != 0 {
+			t.Fatalf("%s gold violations: %v", inst.Name, d.Violations)
+		}
+		if d.Score != inst.GoldScore {
+			t.Fatalf("%s gold score = %v, want %v", inst.Name, d.Score, inst.GoldScore)
+		}
+	}
+}
+
+func TestGoldPlanUniv2(t *testing.T) {
+	inst := univ.Univ2DS()
+	plan, err := gold.Plan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval.Score(inst, plan); got != 15 {
+		t.Fatalf("Univ-2 gold score = %v, want 15", got)
+	}
+}
+
+func TestGoldPlanTrip(t *testing.T) {
+	for _, city := range []*trip.CityData{trip.NYC(), trip.Paris()} {
+		inst := city.Instance
+		plan, err := gold.Plan(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		d := eval.Evaluate(inst, plan)
+		if len(d.Violations) != 0 {
+			t.Fatalf("%s gold violations: %v", inst.Name, d.Violations)
+		}
+		// Trip gold = mean popularity of famous feasible POIs; must be
+		// well above the catalog average and within [1,5].
+		if d.Score < 3.5 || d.Score > 5 {
+			t.Fatalf("%s gold score = %v", inst.Name, d.Score)
+		}
+	}
+}
+
+func TestViolatingPlanScoresZero(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	// Two courses: fails credits, length, split.
+	plan := ids(t, inst, "CS 675", "CS 636")
+	if got := eval.Score(inst, plan); got != 0 {
+		t.Fatalf("score = %v, want 0", got)
+	}
+	d := eval.Evaluate(inst, plan)
+	if len(d.Violations) == 0 {
+		t.Fatal("no violations recorded")
+	}
+	if d.Interleave <= 0 {
+		t.Fatal("interleave should still be measured")
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	d := eval.Evaluate(inst, nil)
+	if d.Score != 0 || d.OrderingValid != 0 {
+		t.Fatalf("empty plan detail = %+v", d)
+	}
+}
+
+func TestCoverageAndOrdering(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	plan, err := gold.Plan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eval.Evaluate(inst, plan)
+	if d.Coverage <= 0 || d.Coverage > 1 {
+		t.Fatalf("coverage = %v", d.Coverage)
+	}
+	if d.OrderingValid != 1 {
+		t.Fatalf("gold ordering validity = %v, want 1", d.OrderingValid)
+	}
+}
+
+func TestTripScoreIsMeanPopularity(t *testing.T) {
+	inst := trip.Paris().Instance
+	plan, err := gold.Plan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, idx := range plan {
+		want += inst.Catalog.At(idx).Popularity
+	}
+	want /= float64(len(plan))
+	if got := eval.Score(inst, plan); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("trip score = %v, want mean popularity %v", got, want)
+	}
+}
+
+func TestRatePlanGoldBeatsBroken(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	goldPlan, err := gold.Plan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := ids(t, inst, "CS 675", "CS 636") // short, violating
+	cfg := eval.StudyConfig{Raters: 25, Seed: 1}
+	rGold := eval.RatePlan(inst, goldPlan, cfg)
+	rBroken := eval.RatePlan(inst, broken, cfg)
+	if rGold.Overall <= rBroken.Overall {
+		t.Fatalf("gold overall %v ≤ broken %v", rGold.Overall, rBroken.Overall)
+	}
+	for _, r := range []float64{rGold.Overall, rGold.Ordering, rGold.Coverage, rGold.Interleaving} {
+		if r < 1 || r > 5 {
+			t.Fatalf("rating %v out of scale", r)
+		}
+	}
+	// Gold should land in the paper's observed band (≈3.4–4.6 overall).
+	if rGold.Overall < 3.4 || rGold.Overall > 4.6 {
+		t.Fatalf("gold overall = %v, outside plausible band", rGold.Overall)
+	}
+}
+
+func TestRatePlanDeterministicPerSeed(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	plan, _ := gold.Plan(inst)
+	cfg := eval.StudyConfig{Raters: 25, Seed: 9}
+	a := eval.RatePlan(inst, plan, cfg)
+	b := eval.RatePlan(inst, plan, cfg)
+	if a != b {
+		t.Fatalf("ratings differ for same seed: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 10
+	c := eval.RatePlan(inst, plan, cfg)
+	if a == c {
+		t.Fatal("ratings identical across seeds (no noise?)")
+	}
+}
+
+func TestRatePlanDefaults(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	plan, _ := gold.Plan(inst)
+	r := eval.RatePlan(inst, plan, eval.StudyConfig{})
+	if r.Overall < 1 || r.Overall > 5 {
+		t.Fatalf("default-config rating out of scale: %v", r.Overall)
+	}
+}

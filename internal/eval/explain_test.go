@@ -1,0 +1,81 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/baselines/gold"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/eval"
+)
+
+func TestExplainGoldPlan(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	plan, err := gold.Plan(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := eval.Explain(inst, inst.Hard, plan)
+	if len(steps) != len(plan) {
+		t.Fatalf("explanations = %d, plan = %d", len(steps), len(plan))
+	}
+	for _, s := range steps {
+		if !s.PrereqOK {
+			t.Fatalf("gold step %d (%s) explained as violating: %s", s.Pos, s.ID, s.Prereq)
+		}
+		if !s.ThemeOK {
+			t.Fatalf("gold step %d (%s) flagged theme repeat", s.Pos, s.ID)
+		}
+		if s.Role != "primary" && s.Role != "secondary" {
+			t.Fatalf("step role = %q", s.Role)
+		}
+	}
+	// The first step has no antecedents in any feasible gold plan.
+	if !strings.Contains(steps[0].Prereq, "no prerequisites") &&
+		!strings.Contains(steps[0].Prereq, "satisfied") {
+		t.Fatalf("first step prereq = %q", steps[0].Prereq)
+	}
+}
+
+func TestExplainFlagsViolations(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	// CS 677 needs CS 675 AND MATH 630 well before it; placing it second
+	// violates the gap.
+	i675, _ := inst.Catalog.Index("CS 675")
+	i677, _ := inst.Catalog.Index("CS 677")
+	steps := eval.Explain(inst, inst.Hard, []int{i675, i677})
+	if steps[1].PrereqOK {
+		t.Fatal("violating step explained as satisfied")
+	}
+	if !strings.Contains(steps[1].Prereq, "VIOLATED") {
+		t.Fatalf("prereq text = %q", steps[1].Prereq)
+	}
+}
+
+func TestExplainTracksNewTopics(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	i675, _ := inst.Catalog.Index("CS 675")
+	steps := eval.Explain(inst, inst.Hard, []int{i675, i675})
+	if len(steps[0].NewIdealTopics) == 0 {
+		t.Fatal("first step adds no topics?")
+	}
+	// The same item repeated adds nothing new.
+	if len(steps[1].NewIdealTopics) != 0 {
+		t.Fatalf("duplicate step added topics: %v", steps[1].NewIdealTopics)
+	}
+}
+
+func TestRenderExplanation(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	plan, _ := gold.Plan(inst)
+	lines := eval.RenderExplanation(eval.Explain(inst, inst.Hard, plan))
+	if len(lines) != len(plan) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"1.", "primary", "adds"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("rendered explanation missing %q:\n%s", want, joined)
+		}
+	}
+}

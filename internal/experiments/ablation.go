@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+	"github.com/rlplanner/rlplanner/internal/stats"
+	"github.com/rlplanner/rlplanner/internal/valueiter"
+)
+
+// AblationRow is one variant of one design dimension, measured on the
+// Univ-1 DS-CT instance.
+type AblationRow struct {
+	// Dimension names the design choice; Variant the alternative.
+	Dimension, Variant string
+	// Score is the mean §IV-A score over runs.
+	Score float64
+	// LearnTime is the mean policy-construction time.
+	LearnTime time.Duration
+	// ConvergedAt is the mean learning-curve settling episode (-1 when
+	// not applicable or never settled).
+	ConvergedAt int
+}
+
+// Ablations measures the design choices DESIGN.md §5 calls out:
+// similarity aggregation, action selection, TD algorithm, recommendation
+// walk and solver.
+func Ablations(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	inst := univ.Univ1DSCT()
+	var rows []AblationRow
+
+	runRL := func(dim, variant string, opts core.Options, raw bool) error {
+		var scores []float64
+		var learn time.Duration
+		var conv, convRuns int
+		for r := 0; r < cfg.Runs; r++ {
+			o := opts
+			o.Seed = cfg.BaseSeed + int64(r)
+			if cfg.Episodes > 0 {
+				o.Episodes = cfg.Episodes
+			}
+			p, err := core.New(inst, o)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			if err := p.Learn(); err != nil {
+				return err
+			}
+			learn += time.Since(t0)
+			var plan []int
+			if raw {
+				plan, err = p.PlanRaw(inst.StartIndex())
+			} else {
+				plan, err = p.Plan()
+			}
+			if err != nil {
+				return err
+			}
+			scores = append(scores, eval.Score(inst, plan))
+			if c := stats.ConvergedAt(p.LearningCurve(), 40, 2.0); c >= 0 {
+				conv += c
+				convRuns++
+			}
+		}
+		row := AblationRow{
+			Dimension: dim, Variant: variant,
+			Score:       stats.Mean(scores),
+			LearnTime:   learn / time.Duration(cfg.Runs),
+			ConvergedAt: -1,
+		}
+		if convRuns > 0 {
+			row.ConvergedAt = conv / convRuns
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	// Similarity aggregation (the paper runs avg and min everywhere; the
+	// lev variant swaps in the true edit distance).
+	for _, m := range []seqsim.Mode{seqsim.Average, seqsim.Minimum, seqsim.LevenshteinAverage} {
+		if err := runRL("similarity", m.String(), core.Options{Sim: m, HasSim: true}, false); err != nil {
+			return nil, err
+		}
+	}
+	// Action selection during learning.
+	for _, sel := range []sarsa.Selection{sarsa.RewardGreedy, sarsa.QGreedy} {
+		if err := runRL("selection", sel.String(), core.Options{Selection: sel}, false); err != nil {
+			return nil, err
+		}
+	}
+	// TD algorithm.
+	for _, alg := range []sarsa.Algorithm{sarsa.SARSA, sarsa.QLearning} {
+		if err := runRL("algorithm", alg.String(), core.Options{Algorithm: alg}, false); err != nil {
+			return nil, err
+		}
+	}
+	// Recommendation walk.
+	if err := runRL("walk", "guided", core.Options{}, false); err != nil {
+		return nil, err
+	}
+	if err := runRL("walk", "raw (Algorithm 1)", core.Options{}, true); err != nil {
+		return nil, err
+	}
+
+	// Solver: value iteration on the same abstraction.
+	p, err := core.New(inst, core.Options{Seed: cfg.BaseSeed})
+	if err != nil {
+		return nil, err
+	}
+	var viScores []float64
+	var viTime time.Duration
+	var viIters int
+	for r := 0; r < cfg.Runs; r++ {
+		t0 := time.Now()
+		res, err := valueiter.Solve(p.Env(), valueiter.Config{Gamma: 0.95, Seed: cfg.BaseSeed + int64(r)})
+		if err != nil {
+			return nil, err
+		}
+		viTime += time.Since(t0)
+		plan, err := res.Policy.RecommendGuided(p.Env(), inst.StartIndex())
+		if err != nil {
+			return nil, err
+		}
+		viScores = append(viScores, eval.Score(inst, plan))
+		viIters += res.Iterations
+	}
+	rows = append(rows, AblationRow{
+		Dimension: "solver", Variant: "value-iteration",
+		Score:       stats.Mean(viScores),
+		LearnTime:   viTime / time.Duration(cfg.Runs),
+		ConvergedAt: viIters / cfg.Runs,
+	})
+	return rows, nil
+}
+
+// AblationTable renders the ablation rows.
+func AblationTable(rows []AblationRow) *stats.Table {
+	t := &stats.Table{
+		Title:  "Ablations (Univ-1 M.S. DS-CT)",
+		Header: []string{"Dimension", "Variant", "Score", "Learn", "Converged@"},
+	}
+	for _, r := range rows {
+		conv := "—"
+		if r.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%d", r.ConvergedAt)
+		}
+		t.AddRow(r.Dimension, r.Variant, stats.F2(r.Score),
+			r.LearnTime.Round(time.Microsecond).String(), conv)
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV). Each experiment has a runner returning structured rows
+// plus a rendered text table; cmd/benchharness prints them and
+// bench_test.go wraps them in testing.B benchmarks. DESIGN.md §4 maps
+// experiment ids to runners.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rlplanner/rlplanner/internal/baselines/eda"
+	"github.com/rlplanner/rlplanner/internal/baselines/gold"
+	"github.com/rlplanner/rlplanner/internal/baselines/omega"
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/stats"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Runs is the number of repetitions averaged (the paper uses 10).
+	Runs int
+	// BaseSeed seeds run r with BaseSeed + r.
+	BaseSeed int64
+	// Episodes overrides N for every learner; 0 keeps instance defaults.
+	// The quick mode of the harness uses this to keep CI fast.
+	Episodes int
+}
+
+// withDefaults normalizes a config.
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	return c
+}
+
+// ScoreRL learns and recommends over cfg.Runs seeds and returns the
+// per-run §IV-A scores.
+func ScoreRL(inst *dataset.Instance, opts core.Options, cfg Config) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Episodes > 0 && opts.Episodes == 0 {
+		opts.Episodes = cfg.Episodes
+	}
+	scores := make([]float64, 0, cfg.Runs)
+	for r := 0; r < cfg.Runs; r++ {
+		o := opts
+		o.Seed = cfg.BaseSeed + int64(r)
+		p, err := core.New(inst, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		if err := p.Learn(); err != nil {
+			return nil, err
+		}
+		plan, err := p.Plan()
+		if err != nil {
+			return nil, err
+		}
+		// Score against the constraints the planner actually ran under
+		// (sweeps override t and d).
+		scores = append(scores, eval.ScoreWith(inst, p.Env().Hard(), plan))
+	}
+	return scores, nil
+}
+
+// ScoreEDA runs the EDA baseline over cfg.Runs tie-break seeds.
+func ScoreEDA(inst *dataset.Instance, opts core.Options, cfg Config) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	p, err := core.New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := p.SarsaConfig().Start
+	plans, err := eda.AveragePlan(p.Env(), start, cfg.Runs, cfg.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(plans))
+	for i, plan := range plans {
+		scores[i] = eval.ScoreWith(inst, p.Env().Hard(), plan)
+	}
+	return scores, nil
+}
+
+// ScoreOmega runs the adapted OMEGA baseline (deterministic).
+func ScoreOmega(inst *dataset.Instance, opts core.Options) (float64, error) {
+	p, err := core.New(inst, opts)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := omega.Plan(p.Env(), p.SarsaConfig().Start)
+	if err != nil {
+		return 0, err
+	}
+	return eval.ScoreWith(inst, p.Env().Hard(), plan), nil
+}
+
+// ScoreGold synthesizes and scores the gold standard.
+func ScoreGold(inst *dataset.Instance) (float64, error) {
+	plan, err := gold.Plan(inst)
+	if err != nil {
+		return 0, err
+	}
+	return eval.Score(inst, plan), nil
+}
+
+// courseInstances returns the four course-planning instances of §IV-A1.
+func courseInstances() []*dataset.Instance {
+	return append(univ.Univ1All(), univ.Univ2DS())
+}
+
+// tripInstances returns the two trip-planning instances.
+func tripInstances() []*dataset.Instance {
+	return trip.Instances()
+}
+
+// meanOrZero averages scores defensively.
+func meanOrZero(xs []float64) float64 { return stats.Mean(xs) }

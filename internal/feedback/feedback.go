@@ -1,0 +1,151 @@
+// Package feedback implements the adaptive extension sketched in the
+// paper's conclusion (§VI): a loop that consumes user feedback on
+// recommended plans — binary useful/not-useful signals, categorical 1–5
+// ratings, or probability distributions — and adapts the reward weights
+// for future planning rounds.
+//
+// The adaptation is a multiplicative-weights update: feedback above the
+// neutral point reinforces the reward component (interleaving similarity
+// vs item-type weight) that contributed most to the rated plan, feedback
+// below it shifts mass to the other component. The same rule adapts the
+// primary/secondary weights using the plan's primary share. Weights stay
+// normalized (δ+β = 1, w1+w2 = 1) so every intermediate configuration is a
+// valid Equation 2 instance.
+package feedback
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/reward"
+)
+
+// Signal is one piece of user feedback, normalized to [0, 1] by Value.
+type Signal interface {
+	// Value maps the feedback onto [0, 1]; 0.5 is neutral.
+	Value() float64
+}
+
+// Binary is useful / not-useful feedback.
+type Binary bool
+
+// Value implements Signal: useful = 1, not useful = 0.
+func (b Binary) Value() float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Rating is a categorical 1–5 rating.
+type Rating float64
+
+// Value implements Signal: 1 → 0, 3 → 0.5, 5 → 1 (clamped).
+func (r Rating) Value() float64 {
+	v := (float64(r) - 1) / 4
+	return math.Max(0, math.Min(1, v))
+}
+
+// Distribution is a probability distribution over the rating scale 1–5
+// (index 0 = rating 1). Its value is the normalized expectation.
+type Distribution []float64
+
+// Value implements Signal.
+func (d Distribution) Value() float64 {
+	var total, ev float64
+	for i, p := range d {
+		total += p
+		ev += p * float64(i+1)
+	}
+	if total == 0 {
+		return 0.5
+	}
+	return Rating(ev / total).Value()
+}
+
+// Event records one observed plan with its feedback.
+type Event struct {
+	// Detail is the measured plan evaluation.
+	Detail eval.Detail
+	// Signal is the normalized feedback value.
+	Signal float64
+}
+
+// Loop adapts a reward configuration from feedback.
+type Loop struct {
+	cfg     reward.Config
+	rate    float64
+	history []Event
+	planLen int
+}
+
+// NewLoop starts an adaptation loop from a base configuration. rate
+// controls update aggressiveness (0 < rate ≤ 1; 0 selects the 0.3
+// default). planLen normalizes the interleaving score (H).
+func NewLoop(cfg reward.Config, planLen int, rate float64) (*Loop, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("feedback: rate %g out of (0,1]", rate)
+	}
+	if rate == 0 {
+		rate = 0.3
+	}
+	if planLen <= 0 {
+		return nil, fmt.Errorf("feedback: plan length %d", planLen)
+	}
+	return &Loop{cfg: cfg, rate: rate, planLen: planLen}, nil
+}
+
+// Config returns the current (adapted) reward configuration.
+func (l *Loop) Config() reward.Config { return l.cfg }
+
+// History returns the observed events.
+func (l *Loop) History() []Event { return append([]Event(nil), l.history...) }
+
+// Observe folds one plan's feedback into the weights and returns the
+// updated configuration.
+func (l *Loop) Observe(d eval.Detail, sig Signal) reward.Config {
+	s := sig.Value()
+	l.history = append(l.history, Event{Detail: d, Signal: s})
+
+	// Component qualities in [0, 1].
+	interleave := math.Max(0, math.Min(1, d.Interleave/float64(l.planLen)))
+	coverage := math.Max(0, math.Min(1, d.Coverage))
+
+	// Multiplicative update: positive feedback (s > 0.5) boosts the
+	// component that performed well in this plan; negative feedback
+	// drains it.
+	push := l.rate * (s - 0.5)
+	delta := l.cfg.Delta * math.Exp(push*interleave)
+	beta := l.cfg.Beta * math.Exp(push*coverage)
+	if sum := delta + beta; sum > 0 {
+		l.cfg.Delta, l.cfg.Beta = delta/sum, beta/sum
+	}
+
+	// Type weights follow the plan's primary share: if a primary-heavy
+	// plan was liked, primaries gain weight, and vice versa.
+	if len(l.cfg.Weights.Category) == 0 {
+		share := primaryShare(d)
+		w1 := l.cfg.Weights.Primary * math.Exp(push*share)
+		w2 := l.cfg.Weights.Secondary * math.Exp(push*(1-share))
+		if sum := w1 + w2; sum > 0 {
+			l.cfg.Weights.Primary, l.cfg.Weights.Secondary = w1/sum, w2/sum
+		}
+	}
+	return l.cfg
+}
+
+// primaryShare estimates the primary fraction of the rated plan from the
+// ordering-validity detail; without per-item data it defaults to 0.5
+// (neutral) unless the Detail carries an explicit share.
+func primaryShare(d eval.Detail) float64 {
+	// eval.Detail does not carry the type split directly; OrderingValid is
+	// a reasonable stand-in for "the structural part the user reacted to".
+	if d.OrderingValid > 0 {
+		return d.OrderingValid
+	}
+	return 0.5
+}

@@ -1,0 +1,141 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/reward"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+)
+
+func baseConfig() reward.Config {
+	return reward.Config{
+		Delta: 0.6, Beta: 0.4,
+		Epsilon: 1,
+		Weights: reward.Weights{Primary: 0.6, Secondary: 0.4},
+		Sim:     seqsim.Average,
+		Template: constraints.Template{
+			{item.Primary, item.Secondary},
+		},
+	}
+}
+
+func TestSignalValues(t *testing.T) {
+	if Binary(true).Value() != 1 || Binary(false).Value() != 0 {
+		t.Fatal("binary values wrong")
+	}
+	if Rating(1).Value() != 0 || Rating(5).Value() != 1 || Rating(3).Value() != 0.5 {
+		t.Fatal("rating values wrong")
+	}
+	if Rating(9).Value() != 1 || Rating(-2).Value() != 0 {
+		t.Fatal("rating clamping wrong")
+	}
+	d := Distribution{0, 0, 1, 0, 0} // all mass on rating 3
+	if d.Value() != 0.5 {
+		t.Fatalf("distribution value = %v", d.Value())
+	}
+	if (Distribution{}).Value() != 0.5 {
+		t.Fatal("empty distribution should be neutral")
+	}
+	skew := Distribution{0, 0, 0, 0, 1} // all mass on 5
+	if skew.Value() != 1 {
+		t.Fatalf("skewed distribution = %v", skew.Value())
+	}
+}
+
+func TestNewLoopValidation(t *testing.T) {
+	if _, err := NewLoop(baseConfig(), 10, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoop(baseConfig(), 0, 0.3); err == nil {
+		t.Fatal("zero plan length accepted")
+	}
+	if _, err := NewLoop(baseConfig(), 10, 2); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	bad := baseConfig()
+	bad.Delta = 0.9
+	if _, err := NewLoop(bad, 10, 0.3); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestObserveKeepsNormalization(t *testing.T) {
+	l, err := NewLoop(baseConfig(), 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eval.Detail{Interleave: 8, Coverage: 0.3, OrderingValid: 1}
+	for i := 0; i < 50; i++ {
+		cfg := l.Observe(d, Binary(i%2 == 0))
+		if math.Abs(cfg.Delta+cfg.Beta-1) > 1e-9 {
+			t.Fatalf("δ+β = %v", cfg.Delta+cfg.Beta)
+		}
+		if math.Abs(cfg.Weights.Primary+cfg.Weights.Secondary-1) > 1e-9 {
+			t.Fatalf("w1+w2 = %v", cfg.Weights.Primary+cfg.Weights.Secondary)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("adapted config invalid: %v", err)
+		}
+	}
+	if len(l.History()) != 50 {
+		t.Fatalf("history = %d events", len(l.History()))
+	}
+}
+
+func TestPositiveFeedbackReinforcesStrongComponent(t *testing.T) {
+	// A plan with excellent interleaving but poor coverage, liked by the
+	// user, should shift weight toward the interleaving term δ.
+	l, _ := NewLoop(baseConfig(), 10, 0.5)
+	d := eval.Detail{Interleave: 10, Coverage: 0.1, OrderingValid: 1}
+	before := l.Config().Delta
+	for i := 0; i < 10; i++ {
+		l.Observe(d, Rating(5))
+	}
+	if after := l.Config().Delta; after <= before {
+		t.Fatalf("δ did not grow: %v → %v", before, after)
+	}
+}
+
+func TestNegativeFeedbackDrainsStrongComponent(t *testing.T) {
+	l, _ := NewLoop(baseConfig(), 10, 0.5)
+	d := eval.Detail{Interleave: 10, Coverage: 0.1, OrderingValid: 1}
+	before := l.Config().Delta
+	for i := 0; i < 10; i++ {
+		l.Observe(d, Binary(false))
+	}
+	if after := l.Config().Delta; after >= before {
+		t.Fatalf("δ did not shrink after bad feedback: %v → %v", before, after)
+	}
+}
+
+func TestNeutralFeedbackIsStable(t *testing.T) {
+	l, _ := NewLoop(baseConfig(), 10, 0.5)
+	d := eval.Detail{Interleave: 5, Coverage: 0.5, OrderingValid: 0.5}
+	before := l.Config()
+	l.Observe(d, Rating(3)) // exactly neutral
+	after := l.Config()
+	if math.Abs(before.Delta-after.Delta) > 1e-12 {
+		t.Fatalf("neutral feedback moved δ: %v → %v", before.Delta, after.Delta)
+	}
+}
+
+func TestCategoryWeightsUntouched(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Weights = reward.Weights{Category: reward.Univ2CategoryWeights()}
+	l, err := NewLoop(cfg, 15, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Observe(eval.Detail{Interleave: 10, Coverage: 1, OrderingValid: 1}, Rating(5))
+	got := l.Config().Weights.Category
+	want := reward.Univ2CategoryWeights()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("category weights should not be adapted")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package fixture provides the paper's running toy examples as ready-made
+// catalogs and constraints: the six-course catalog of Table II (Example 1)
+// and a small Paris POI set (Example 2). Tests and examples across the
+// repository share these so that paper-quoted numbers are checked against a
+// single source of truth.
+package fixture
+
+import (
+	"github.com/rlplanner/rlplanner/internal/bitset"
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+	"github.com/rlplanner/rlplanner/internal/topics"
+)
+
+// CourseTopics is the 13-topic vocabulary of Table II.
+func CourseTopics() *topics.Vocabulary {
+	return topics.MustVocabulary(
+		"Algorithms", "Classification", "Clustering", "Statistics",
+		"Regression", "Data Structure", "Neural Network", "Probability",
+		"Data Visualization", "Linear System", "Matrix Decomposition",
+		"Data Management", "Data Transfer",
+	)
+}
+
+// Courses returns the Table II toy catalog: m1–m6.
+func Courses() *item.Catalog {
+	vocab := CourseTopics()
+	return item.MustCatalog(vocab, []item.Item{
+		{ID: "Data Structures and Algorithms", Name: "Data Structures and Algorithms",
+			Type: item.Primary, Credits: 3,
+			Topics: bitset.FromIndices(13, 0, 5), Category: item.NoCategory},
+		{ID: "Data Mining", Name: "Data Mining",
+			Type: item.Secondary, Credits: 3,
+			Topics: bitset.FromIndices(13, 1, 2), Category: item.NoCategory},
+		{ID: "Data Analytics", Name: "Data Analytics",
+			Type: item.Primary, Credits: 3,
+			Topics: bitset.FromIndices(13, 3, 7), Category: item.NoCategory},
+		{ID: "Linear Algebra", Name: "Linear Algebra",
+			Type: item.Secondary, Credits: 3,
+			Topics: bitset.FromIndices(13, 8, 9), Category: item.NoCategory},
+		{ID: "Big Data", Name: "Big Data",
+			Type: item.Secondary, Credits: 3,
+			Prereq: prereq.MustParse("Data Mining OR Data Analytics"),
+			Topics: bitset.FromIndices(13, 0, 10, 11), Category: item.NoCategory},
+		{ID: "Machine Learning", Name: "Machine Learning",
+			Type: item.Primary, Credits: 3,
+			Prereq: prereq.MustParse("Linear Algebra AND Data Mining"),
+			Topics: bitset.FromIndices(13, 1, 2, 4, 6), Category: item.NoCategory},
+	})
+}
+
+// CourseTemplate is the toy IT of §II-B.1: three permutations of 3 primary
+// and 3 secondary items.
+func CourseTemplate() constraints.Template {
+	return constraints.MustParseTemplate(
+		"primary, primary, secondary, primary, secondary, secondary",
+		"primary, secondary, secondary, secondary, primary, primary",
+		"primary, secondary, secondary, primary, primary, secondary",
+	)
+}
+
+// CourseHard is a toy P_hard matching the six-course catalog: 18 credits
+// (six 3-credit courses), 3 primary, 3 secondary, gap 3.
+func CourseHard() constraints.Hard {
+	return constraints.Hard{
+		Credits:    18,
+		CreditMode: constraints.MinCredits,
+		Primary:    3,
+		Secondary:  3,
+		Gap:        3,
+	}
+}
+
+// CourseIdeal is T_ideal of Example 1: Classification, Clustering, Neural
+// Network, Linear System = [0,1,1,0,0,0,1,0,0,1,0,0,0].
+func CourseIdeal() bitset.Set {
+	return bitset.FromIndices(13, 1, 2, 6, 9)
+}
+
+// CourseSoft bundles CourseIdeal and CourseTemplate.
+func CourseSoft() constraints.Soft {
+	return constraints.Soft{Ideal: CourseIdeal(), Template: CourseTemplate()}
+}
+
+// TripTopics is the 8-theme vocabulary of §II-B.2.
+func TripTopics() *topics.Vocabulary {
+	return topics.MustVocabulary(
+		"Museum", "Art Gallery", "Cathedral", "Palace",
+		"River", "Street", "Restaurant", "Architecture",
+	)
+}
+
+// Trip returns the toy Paris POI catalog of Example 2. Visit times (cr^m)
+// and coordinates are representative; the Louvre's topic vector matches the
+// paper ([1,1,0,0,0,0,0,1]). Categories index the dominant theme for the
+// theme-gap rule.
+func Trip() *item.Catalog {
+	vocab := TripTopics()
+	return item.MustCatalog(vocab, []item.Item{
+		{ID: "Eiffel Tower", Name: "Eiffel Tower", Type: item.Primary, Credits: 1.5,
+			Topics: bitset.FromIndices(8, 7), Category: 7,
+			Lat: 48.8584, Lon: 2.2945, Popularity: 5},
+		{ID: "Louvre Museum", Name: "Louvre Museum", Type: item.Primary, Credits: 2,
+			Topics: bitset.FromIndices(8, 0, 1, 7), Category: 0,
+			Lat: 48.8606, Lon: 2.3376, Popularity: 5},
+		{ID: "Pantheon", Name: "Pantheon", Type: item.Secondary, Credits: 1,
+			Topics: bitset.FromIndices(8, 2, 7), Category: 2,
+			Lat: 48.8462, Lon: 2.3464, Popularity: 4},
+		{ID: "Rue des Martyrs", Name: "Rue des Martyrs", Type: item.Secondary, Credits: 0.5,
+			Topics: bitset.FromIndices(8, 5), Category: 5,
+			Lat: 48.8781, Lon: 2.3392, Popularity: 3},
+		{ID: "Musée d'Orsay", Name: "Musée d'Orsay", Type: item.Secondary, Credits: 1.5,
+			Topics: bitset.FromIndices(8, 0, 1), Category: 0,
+			Lat: 48.8600, Lon: 2.3266, Popularity: 4},
+		{ID: "Cathédrale Notre-Dame de Paris", Name: "Cathédrale Notre-Dame de Paris",
+			Type: item.Secondary, Credits: 1,
+			Topics: bitset.FromIndices(8, 2, 7), Category: 2,
+			Lat: 48.8530, Lon: 2.3499, Popularity: 5},
+		{ID: "Palais Garnier", Name: "Palais Garnier", Type: item.Secondary, Credits: 1,
+			Topics: bitset.FromIndices(8, 3, 7), Category: 3,
+			Lat: 48.8720, Lon: 2.3316, Popularity: 4},
+		{ID: "The River Seine", Name: "The River Seine", Type: item.Secondary, Credits: 1,
+			Topics: bitset.FromIndices(8, 4), Category: 4,
+			Lat: 48.8566, Lon: 2.3430, Popularity: 4},
+		{ID: "Le Cinq", Name: "Le Cinq", Type: item.Secondary, Credits: 1,
+			// A restaurant is best enjoyed after a museum (antecedent, §II-B.2).
+			Prereq: prereq.MustParse("Louvre Museum OR Musée d'Orsay"),
+			Topics: bitset.FromIndices(8, 6), Category: 6,
+			Lat: 48.8690, Lon: 2.3008, Popularity: 4},
+	})
+}
+
+// TripTemplate is the toy IT of §II-B.2: permutations of 2 primary and 3
+// secondary POIs.
+func TripTemplate() constraints.Template {
+	return constraints.MustParseTemplate(
+		"primary, secondary, primary, secondary, secondary",
+		"primary, secondary, secondary, secondary, primary",
+		"primary, secondary, secondary, primary, secondary",
+	)
+}
+
+// TripHard is P_hard of Example 2: 6 visit-hours, 2 primary, 3 secondary,
+// gap 1, with the theme-gap rule on.
+func TripHard() constraints.Hard {
+	return constraints.Hard{
+		Credits:    6,
+		CreditMode: constraints.MaxCredits,
+		Primary:    2,
+		Secondary:  3,
+		Gap:        1,
+		ThemeGap:   true,
+	}
+}
+
+// TripIdeal is T_ideal of Example 2: Museum, Art Gallery, River,
+// Restaurant, Architecture.
+func TripIdeal() bitset.Set {
+	return bitset.FromIndices(8, 0, 1, 4, 6, 7)
+}
+
+// TripSoft bundles TripIdeal and TripTemplate.
+func TripSoft() constraints.Soft {
+	return constraints.Soft{Ideal: TripIdeal(), Template: TripTemplate()}
+}

@@ -1,0 +1,54 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHaversineZero(t *testing.T) {
+	p := Point{48.8584, 2.2945} // Eiffel Tower
+	if d := Haversine(p, p); d != 0 {
+		t.Fatalf("distance to self = %v", d)
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Eiffel Tower to Louvre is about 3.2 km.
+	eiffel := Point{48.8584, 2.2945}
+	louvre := Point{48.8606, 2.3376}
+	d := Haversine(eiffel, louvre)
+	if d < 2.9 || d > 3.5 {
+		t.Fatalf("Eiffel→Louvre = %.2f km, want ≈3.2", d)
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	a := Point{40.7128, -74.0060}
+	b := Point{40.7484, -73.9857}
+	if math.Abs(Haversine(a, b)-Haversine(b, a)) > 1e-9 {
+		t.Fatal("haversine not symmetric")
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	a := Point{48.8584, 2.2945}
+	b := Point{48.8606, 2.3376}
+	c := Point{48.8530, 2.3499}
+	got := PathLength([]Point{a, b, c})
+	want := Haversine(a, b) + Haversine(b, c)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PathLength = %v, want %v", got, want)
+	}
+	if PathLength(nil) != 0 || PathLength([]Point{a}) != 0 {
+		t.Fatal("degenerate paths should be 0")
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	a := Point{48.85, 2.29}
+	b := Point{48.87, 2.35}
+	c := Point{48.84, 2.32}
+	if Haversine(a, b) > Haversine(a, c)+Haversine(c, b)+1e-9 {
+		t.Fatal("triangle inequality violated")
+	}
+}

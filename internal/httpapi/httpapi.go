@@ -1,0 +1,439 @@
+// Package httpapi serves RL-Planner over HTTP/JSON: instance discovery,
+// one-shot planning, baselines, the rater panel and interactive sessions.
+// It exists for the interactive-mode deployment scenario of §IV-F (MOOC
+// and travel platforms advising thousands of users) and is built entirely
+// on the public rlplanner API and net/http.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/rlplanner/rlplanner"
+)
+
+// Server holds the HTTP state: lazily learned planners per (instance,
+// options) and live interactive sessions.
+type Server struct {
+	mu       sync.Mutex
+	planners map[string]*rlplanner.Planner
+	sessions map[string]*sessionState
+	custom   map[string]*rlplanner.Instance
+	nextID   int
+}
+
+type sessionState struct {
+	instance string
+	session  *rlplanner.Session
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{
+		planners: make(map[string]*rlplanner.Planner),
+		sessions: make(map[string]*sessionState),
+		custom:   make(map[string]*rlplanner.Instance),
+	}
+}
+
+// instance resolves a name against custom uploads first, then built-ins.
+func (s *Server) instance(name string) (*rlplanner.Instance, error) {
+	s.mu.Lock()
+	in, ok := s.custom[name]
+	s.mu.Unlock()
+	if ok {
+		return in, nil
+	}
+	return rlplanner.InstanceByName(name)
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/instances", s.listInstances)
+	mux.HandleFunc("POST /api/instances", s.createInstance)
+	mux.HandleFunc("GET /api/instances/{name}", s.getInstance)
+	mux.HandleFunc("POST /api/plan", s.plan)
+	mux.HandleFunc("POST /api/rate", s.rate)
+	mux.HandleFunc("POST /api/explain", s.explain)
+	mux.HandleFunc("POST /api/sessions", s.createSession)
+	mux.HandleFunc("GET /api/sessions/{id}", s.getSession)
+	mux.HandleFunc("POST /api/sessions/{id}/accept", s.sessionAccept)
+	mux.HandleFunc("POST /api/sessions/{id}/reject", s.sessionReject)
+	mux.HandleFunc("POST /api/sessions/{id}/complete", s.sessionComplete)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError reports an error as {"error": "..."}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// instanceInfo is the discovery form of an instance.
+type instanceInfo struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"`
+	NumItems     int     `json:"num_items"`
+	NumTopics    int     `json:"num_topics"`
+	DefaultStart string  `json:"default_start"`
+	GoldScore    float64 `json:"gold_score"`
+}
+
+func info(in *rlplanner.Instance) instanceInfo {
+	kind := "course"
+	if in.IsTrip() {
+		kind = "trip"
+	}
+	return instanceInfo{
+		Name:         in.Name(),
+		Kind:         kind,
+		NumItems:     in.NumItems(),
+		NumTopics:    len(in.Topics()),
+		DefaultStart: in.DefaultStart(),
+		GoldScore:    in.GoldScore(),
+	}
+}
+
+func (s *Server) listInstances(w http.ResponseWriter, _ *http.Request) {
+	var out []instanceInfo
+	for _, in := range rlplanner.Instances() {
+		out = append(out, info(in))
+	}
+	s.mu.Lock()
+	for _, in := range s.custom {
+		out = append(out, info(in))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createInstance registers a custom instance from a JSON spec (the
+// rlplanner.InstanceSpec / cmd/datagen schema). Registered instances are
+// addressable by name in every other endpoint of this server.
+func (s *Server) createInstance(w http.ResponseWriter, r *http.Request) {
+	in, err := rlplanner.LoadInstance(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := rlplanner.InstanceByName(in.Name()); err == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("instance %q shadows a built-in", in.Name()))
+		return
+	}
+	s.mu.Lock()
+	_, dup := s.custom[in.Name()]
+	if !dup {
+		s.custom[in.Name()] = in
+	}
+	s.mu.Unlock()
+	if dup {
+		writeError(w, http.StatusConflict, fmt.Errorf("instance %q already exists", in.Name()))
+		return
+	}
+	writeJSON(w, http.StatusCreated, info(in))
+}
+
+func (s *Server) getInstance(w http.ResponseWriter, r *http.Request) {
+	in, err := s.instance(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		instanceInfo
+		Items []rlplanner.Item `json:"items"`
+	}{info(in), in.Items()})
+}
+
+// planRequest selects an instance, options and optionally a baseline.
+type planRequest struct {
+	Instance string  `json:"instance"`
+	Episodes int     `json:"episodes,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Start    string  `json:"start,omitempty"`
+	MinSim   bool    `json:"min_sim,omitempty"`
+	Time     float64 `json:"time_limit_hours,omitempty"`
+	Distance float64 `json:"max_distance_km,omitempty"`
+	Baseline string  `json:"baseline,omitempty"` // "", "eda", "omega", "gold"
+}
+
+func (r planRequest) options() rlplanner.Options {
+	return rlplanner.Options{
+		Episodes:          r.Episodes,
+		Seed:              r.Seed,
+		Start:             r.Start,
+		MinimumSimilarity: r.MinSim,
+		TimeLimitHours:    r.Time,
+		MaxDistanceKm:     r.Distance,
+	}
+}
+
+// plannerKey caches learned planners per configuration.
+func (r planRequest) plannerKey() string {
+	return fmt.Sprintf("%s|%d|%d|%s|%v|%g|%g",
+		r.Instance, r.Episodes, r.Seed, r.Start, r.MinSim, r.Time, r.Distance)
+}
+
+// planner returns a learned planner for the request, reusing the cache.
+func (s *Server) planner(req planRequest) (*rlplanner.Planner, error) {
+	// Resolve before locking: instance lookup takes the same mutex.
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.planners[req.plannerKey()]; ok {
+		return p, nil
+	}
+	p, err := rlplanner.NewPlanner(inst, req.options())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Learn(); err != nil {
+		return nil, err
+	}
+	s.planners[req.plannerKey()] = p
+	return p, nil
+}
+
+func (s *Server) plan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+
+	var plan *rlplanner.Plan
+	switch req.Baseline {
+	case "":
+		p, err := s.planner(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		plan, err = p.Plan()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	case "eda":
+		plan, err = rlplanner.EDABaseline(inst, req.options())
+	case "omega":
+		plan, err = rlplanner.OmegaBaseline(inst, req.options())
+	case "gold":
+		plan, err = rlplanner.GoldStandard(inst)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown baseline %q (want eda, omega or gold)", req.Baseline))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// rateRequest rates an explicit plan on an instance.
+type rateRequest struct {
+	Instance string   `json:"instance"`
+	Items    []string `json:"items"`
+	Raters   int      `json:"raters,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+}
+
+func (s *Server) rate(w http.ResponseWriter, r *http.Request) {
+	var req rateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	plan := &rlplanner.Plan{}
+	for _, id := range req.Items {
+		plan.Steps = append(plan.Steps, rlplanner.PlanStep{ID: id})
+	}
+	ratings, err := rlplanner.RatePlan(inst, plan, req.Raters, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ratings)
+}
+
+// sessionRequest opens an interactive session.
+type sessionRequest struct {
+	planRequest
+	Suggestions int `json:"suggestions,omitempty"`
+}
+
+// sessionView is the JSON state of a session.
+type sessionView struct {
+	ID          string                 `json:"id"`
+	Instance    string                 `json:"instance"`
+	Plan        []string               `json:"plan"`
+	Done        bool                   `json:"done"`
+	Suggestions []rlplanner.Suggestion `json:"suggestions"`
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.planner(req.planRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := p.StartSession(req.Suggestions)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = &sessionState{instance: req.Instance, session: sess}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, s.view(id))
+}
+
+// lookup finds a session by path id.
+func (s *Server) lookup(r *http.Request) (string, *sessionState, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[id]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown session %q", id)
+	}
+	return id, st, nil
+}
+
+// view renders the session's current state (caller need not hold the lock;
+// session methods are invoked by one request at a time in tests and the
+// CLI deployment — a production deployment would serialize per session).
+func (s *Server) view(id string) sessionView {
+	s.mu.Lock()
+	st := s.sessions[id]
+	s.mu.Unlock()
+	return sessionView{
+		ID:          id,
+		Instance:    st.instance,
+		Plan:        st.session.PlanIDs(),
+		Done:        st.session.Done(),
+		Suggestions: st.session.Suggestions(),
+	}
+}
+
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
+	id, _, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(id))
+}
+
+// itemRequest names one item for accept/reject.
+type itemRequest struct {
+	Item string `json:"item"`
+}
+
+func (s *Server) sessionAccept(w http.ResponseWriter, r *http.Request) {
+	s.sessionAction(w, r, func(st *sessionState, item string) error {
+		return st.session.Accept(item)
+	})
+}
+
+func (s *Server) sessionReject(w http.ResponseWriter, r *http.Request) {
+	s.sessionAction(w, r, func(st *sessionState, item string) error {
+		return st.session.Reject(item)
+	})
+}
+
+func (s *Server) sessionAction(w http.ResponseWriter, r *http.Request,
+	act func(*sessionState, string) error) {
+
+	id, st, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req itemRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := act(st, req.Item); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(id))
+}
+
+func (s *Server) sessionComplete(w http.ResponseWriter, r *http.Request) {
+	id, st, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	plan := st.session.AutoComplete()
+	writeJSON(w, http.StatusOK, struct {
+		sessionView
+		Result *rlplanner.Plan `json:"result"`
+	}{s.view(id), plan})
+}
+
+// explainRequest asks for a step-by-step justification of a plan.
+type explainRequest struct {
+	Instance string   `json:"instance"`
+	Items    []string `json:"items"`
+}
+
+func (s *Server) explain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	plan := &rlplanner.Plan{}
+	for _, id := range req.Items {
+		plan.Steps = append(plan.Steps, rlplanner.PlanStep{ID: id})
+	}
+	lines, err := rlplanner.ExplainPlan(inst, plan)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"explanation": lines})
+}

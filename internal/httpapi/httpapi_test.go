@@ -1,0 +1,385 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/rlplanner/rlplanner"
+)
+
+// testServer spins up the API once per test.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// doJSON posts a body and decodes the response into out.
+func doJSON(t *testing.T, method, url string, body, out interface{}) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestListAndGetInstances(t *testing.T) {
+	ts := testServer(t)
+	var list []map[string]interface{}
+	if code := doJSON(t, "GET", ts.URL+"/api/instances", nil, &list); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(list) != 6 {
+		t.Fatalf("instances = %d", len(list))
+	}
+
+	var detail struct {
+		Name  string           `json:"name"`
+		Items []rlplanner.Item `json:"items"`
+	}
+	url := ts.URL + "/api/instances/Univ-1 M.S. DS-CT"
+	if code := doJSON(t, "GET", url, nil, &detail); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if detail.Name != "Univ-1 M.S. DS-CT" || len(detail.Items) != 31 {
+		t.Fatalf("detail = %s / %d items", detail.Name, len(detail.Items))
+	}
+
+	if code := doJSON(t, "GET", ts.URL+"/api/instances/Hogwarts", nil, &struct{}{}); code != 404 {
+		t.Fatalf("unknown instance status %d", code)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var plan rlplanner.Plan
+	code := doJSON(t, "POST", ts.URL+"/api/plan", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"episodes": 150,
+		"seed":     1,
+	}, &plan)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(plan.Steps) != 10 {
+		t.Fatalf("plan = %d steps", len(plan.Steps))
+	}
+	if plan.TotalCredits != 30 {
+		t.Fatalf("credits = %v", plan.TotalCredits)
+	}
+}
+
+func TestPlanBaselines(t *testing.T) {
+	ts := testServer(t)
+	for _, baseline := range []string{"gold", "eda", "omega"} {
+		var plan rlplanner.Plan
+		code := doJSON(t, "POST", ts.URL+"/api/plan", map[string]interface{}{
+			"instance": "Univ-1 M.S. DS-CT",
+			"baseline": baseline,
+			"seed":     1,
+		}, &plan)
+		if code != 200 {
+			t.Fatalf("%s: status %d", baseline, code)
+		}
+		if len(plan.Steps) == 0 {
+			t.Fatalf("%s: empty plan", baseline)
+		}
+	}
+	code := doJSON(t, "POST", ts.URL+"/api/plan", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"baseline": "oracle",
+	}, &struct{}{})
+	if code != 400 {
+		t.Fatalf("bad baseline status %d", code)
+	}
+}
+
+func TestPlanBadRequests(t *testing.T) {
+	ts := testServer(t)
+	if code := doJSON(t, "POST", ts.URL+"/api/plan",
+		map[string]interface{}{"instance": "Nowhere"}, &struct{}{}); code != 404 {
+		t.Fatalf("unknown instance status %d", code)
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/api/plan", bytes.NewBufferString("{"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("garbage body status %d", resp.StatusCode)
+	}
+}
+
+func TestRateEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var ratings rlplanner.Ratings
+	code := doJSON(t, "POST", ts.URL+"/api/rate", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"items":    []string{"CS 675", "CS 636", "MATH 661"},
+		"raters":   25,
+		"seed":     1,
+	}, &ratings)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if ratings.Overall < 1 || ratings.Overall > 5 {
+		t.Fatalf("overall = %v", ratings.Overall)
+	}
+	// Unknown item in the plan.
+	code = doJSON(t, "POST", ts.URL+"/api/rate", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"items":    []string{"GHOST 1"},
+	}, &struct{}{})
+	if code != 400 {
+		t.Fatalf("unknown item status %d", code)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	var view struct {
+		ID          string                 `json:"id"`
+		Plan        []string               `json:"plan"`
+		Done        bool                   `json:"done"`
+		Suggestions []rlplanner.Suggestion `json:"suggestions"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/api/sessions", map[string]interface{}{
+		"instance":    "Univ-1 M.S. DS-CT",
+		"episodes":    150,
+		"seed":        2,
+		"suggestions": 4,
+	}, &view)
+	if code != 201 {
+		t.Fatalf("create status %d", code)
+	}
+	if view.ID == "" || len(view.Plan) != 1 || view.Done {
+		t.Fatalf("fresh session view = %+v", view)
+	}
+	if len(view.Suggestions) == 0 || len(view.Suggestions) > 4 {
+		t.Fatalf("suggestions = %d", len(view.Suggestions))
+	}
+
+	base := ts.URL + "/api/sessions/" + view.ID
+
+	// Reject the first suggestion; it must vanish.
+	vetoed := view.Suggestions[0].ID
+	code = doJSON(t, "POST", base+"/reject", map[string]string{"item": vetoed}, &view)
+	if code != 200 {
+		t.Fatalf("reject status %d", code)
+	}
+	for _, s := range view.Suggestions {
+		if s.ID == vetoed {
+			t.Fatalf("vetoed %q still suggested", vetoed)
+		}
+	}
+
+	// Accept the new top suggestion.
+	pick := view.Suggestions[0].ID
+	code = doJSON(t, "POST", base+"/accept", map[string]string{"item": pick}, &view)
+	if code != 200 {
+		t.Fatalf("accept status %d", code)
+	}
+	if len(view.Plan) != 2 {
+		t.Fatalf("plan after accept = %v", view.Plan)
+	}
+
+	// GET reflects the same state.
+	var again struct {
+		Plan []string `json:"plan"`
+	}
+	if code := doJSON(t, "GET", base, nil, &again); code != 200 {
+		t.Fatalf("get status %d", code)
+	}
+	if len(again.Plan) != 2 {
+		t.Fatalf("get plan = %v", again.Plan)
+	}
+
+	// Complete; the result plan honors the rejection.
+	var completed struct {
+		Done   bool            `json:"done"`
+		Result *rlplanner.Plan `json:"result"`
+	}
+	if code := doJSON(t, "POST", base+"/complete", nil, &completed); code != 200 {
+		t.Fatalf("complete status %d", code)
+	}
+	if !completed.Done || completed.Result == nil {
+		t.Fatalf("completed = %+v", completed)
+	}
+	if len(completed.Result.Steps) != 10 {
+		t.Fatalf("result steps = %d", len(completed.Result.Steps))
+	}
+	for _, s := range completed.Result.Steps {
+		if s.ID == vetoed {
+			t.Fatalf("vetoed %q in final plan", vetoed)
+		}
+	}
+	if !completed.Result.SatisfiesConstraints {
+		t.Fatalf("final plan violates constraints: %v", completed.Result.Violations)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	ts := testServer(t)
+	if code := doJSON(t, "GET", ts.URL+"/api/sessions/s999", nil, &struct{}{}); code != 404 {
+		t.Fatalf("unknown session status %d", code)
+	}
+
+	var view struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/api/sessions", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"episodes": 100,
+		"seed":     3,
+	}, &view)
+	base := ts.URL + "/api/sessions/" + view.ID
+
+	// Accepting an unknown item conflicts.
+	code := doJSON(t, "POST", base+"/accept", map[string]string{"item": "GHOST"}, &struct{}{})
+	if code != 409 {
+		t.Fatalf("bad accept status %d", code)
+	}
+}
+
+func TestPlannerCacheReuse(t *testing.T) {
+	// Two identical plan requests must reuse the learned policy and return
+	// identical plans.
+	ts := testServer(t)
+	req := map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"episodes": 120,
+		"seed":     4,
+	}
+	var a, b rlplanner.Plan
+	doJSON(t, "POST", ts.URL+"/api/plan", req, &a)
+	doJSON(t, "POST", ts.URL+"/api/plan", req, &b)
+	if fmt.Sprint(a.IDs()) != fmt.Sprint(b.IDs()) {
+		t.Fatalf("cached planner returned different plans:\n%v\n%v", a.IDs(), b.IDs())
+	}
+}
+
+func TestCustomInstanceUpload(t *testing.T) {
+	ts := testServer(t)
+	spec := map[string]interface{}{
+		"name":   "Workshop",
+		"topics": []string{"go", "testing", "deploy"},
+		"items": []map[string]interface{}{
+			{"id": "intro", "type": "primary", "credits": 1, "topics": []string{"go"}},
+			{"id": "tests", "credits": 1, "topics": []string{"testing"}},
+			{"id": "ship", "type": "primary", "credits": 1, "prereq": "intro", "topics": []string{"deploy"}},
+		},
+		"credits": 3, "primary": 2, "secondary": 1, "gap": 1,
+	}
+	var created struct {
+		Name     string `json:"name"`
+		NumItems int    `json:"num_items"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/api/instances", spec, &created); code != 201 {
+		t.Fatalf("create status %d", code)
+	}
+	if created.Name != "Workshop" || created.NumItems != 3 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Duplicate and built-in-shadowing uploads conflict.
+	if code := doJSON(t, "POST", ts.URL+"/api/instances", spec, &struct{}{}); code != 409 {
+		t.Fatalf("duplicate status %d", code)
+	}
+	shadow := map[string]interface{}{
+		"name":   "Paris",
+		"topics": []string{"x"},
+		"items":  []map[string]interface{}{{"id": "a", "credits": 1, "topics": []string{"x"}}},
+	}
+	if code := doJSON(t, "POST", ts.URL+"/api/instances", shadow, &struct{}{}); code != 409 {
+		t.Fatalf("shadow status %d", code)
+	}
+
+	// The custom instance is visible and plannable.
+	var detail struct {
+		NumItems int `json:"num_items"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/api/instances/Workshop", nil, &detail); code != 200 {
+		t.Fatalf("get status %d", code)
+	}
+	var plan rlplanner.Plan
+	code := doJSON(t, "POST", ts.URL+"/api/plan", map[string]interface{}{
+		"instance": "Workshop",
+		"episodes": 100,
+		"seed":     1,
+	}, &plan)
+	if code != 200 {
+		t.Fatalf("plan status %d", code)
+	}
+	if len(plan.Steps) != 3 {
+		t.Fatalf("plan = %d steps", len(plan.Steps))
+	}
+	if !plan.SatisfiesConstraints {
+		t.Fatalf("custom plan invalid: %v", plan.Violations)
+	}
+}
+
+func TestCustomInstanceBadSpec(t *testing.T) {
+	ts := testServer(t)
+	if code := doJSON(t, "POST", ts.URL+"/api/instances",
+		map[string]interface{}{"name": ""}, &struct{}{}); code != 400 {
+		t.Fatalf("bad spec status %d", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out struct {
+		Explanation []string `json:"explanation"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/api/explain", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"items":    []string{"CS 675", "CS 636", "CS 677"},
+	}, &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Explanation) != 3 {
+		t.Fatalf("lines = %d", len(out.Explanation))
+	}
+	// CS 677 two slots after CS 675 violates the gap; the explanation says so.
+	found := false
+	for _, l := range out.Explanation {
+		if strings.Contains(l, "VIOLATED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no violation surfaced:\n%v", out.Explanation)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/api/explain", map[string]interface{}{
+		"instance": "Univ-1 M.S. DS-CT",
+		"items":    []string{"GHOST"},
+	}, &struct{}{}); code != 400 {
+		t.Fatalf("unknown item status %d", code)
+	}
+}

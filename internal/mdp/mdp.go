@@ -1,0 +1,272 @@
+// Package mdp models TPP as the deterministic discrete constrained MDP of
+// §III-A: states are items of a complete item graph G = ⟨I, E⟩, an action
+// adds one item and induces a transition, and every transition carries the
+// reward of Equation 2. An Episode tracks the trajectory state the reward
+// needs — the current topic coverage T_current, the positions of chosen
+// items (for antecedent gaps), the running type sequence, credits and, for
+// trips, path distance.
+//
+// Trajectory length H follows §III-A: count-based for course planning
+// (H = #cr / cr per course) and budget-based for trip planning (terminate
+// when the visitation time budget is exhausted).
+package mdp
+
+import (
+	"fmt"
+
+	"github.com/rlplanner/rlplanner/internal/bitset"
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/geo"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+	"github.com/rlplanner/rlplanner/internal/reward"
+)
+
+// Budget decides when a trajectory ends (the H of §III-A).
+type Budget interface {
+	// Done reports whether an episode with the given total credits and
+	// item count is complete.
+	Done(credits float64, count int) bool
+	// Allows reports whether an item worth itemCredits may still be added.
+	Allows(credits float64, count int, itemCredits float64) bool
+}
+
+// CountBudget ends an episode after exactly H items — the course-planning
+// trajectory (e.g. 30 required credits at 3 per course → H = 10).
+type CountBudget struct {
+	// H is the number of items per episode.
+	H int
+}
+
+// Done implements Budget.
+func (b CountBudget) Done(_ float64, count int) bool { return count >= b.H }
+
+// Allows implements Budget.
+func (b CountBudget) Allows(_ float64, count int, _ float64) bool { return count < b.H }
+
+// TimeBudget ends an episode when the visitation-time budget is spent —
+// the trip-planning trajectory (e.g. H = 6 hours). MaxItems additionally
+// caps the itinerary at #primary + #secondary POIs when positive.
+type TimeBudget struct {
+	// Hours is the total visitation time available.
+	Hours float64
+	// MaxItems caps the number of POIs; 0 means no cap.
+	MaxItems int
+}
+
+// Done implements Budget.
+func (b TimeBudget) Done(credits float64, count int) bool {
+	if b.MaxItems > 0 && count >= b.MaxItems {
+		return true
+	}
+	return credits >= b.Hours
+}
+
+// Allows implements Budget.
+func (b TimeBudget) Allows(credits float64, count int, itemCredits float64) bool {
+	return !b.Done(credits, count) && credits+itemCredits <= b.Hours
+}
+
+// Env is the TPP environment: one catalog with its constraints, reward
+// configuration and trajectory budget. Env is immutable and safe for
+// concurrent use; per-trajectory state lives in Episode.
+type Env struct {
+	catalog *item.Catalog
+	hard    constraints.Hard
+	soft    constraints.Soft
+	reward  reward.Config
+	budget  Budget
+}
+
+// NewEnv validates the pieces and builds an environment.
+func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
+	rw reward.Config, budget Budget) (*Env, error) {
+	if c == nil {
+		return nil, fmt.Errorf("mdp: nil catalog")
+	}
+	if budget == nil {
+		return nil, fmt.Errorf("mdp: nil budget")
+	}
+	if err := rw.Validate(); err != nil {
+		return nil, err
+	}
+	if soft.Ideal.Len() != c.Vocabulary().Len() {
+		return nil, fmt.Errorf("mdp: ideal vector length %d, vocabulary %d",
+			soft.Ideal.Len(), c.Vocabulary().Len())
+	}
+	if hard.Length() > 0 {
+		if err := soft.Template.Validate(hard.Primary, hard.Secondary); err != nil {
+			return nil, err
+		}
+	}
+	return &Env{catalog: c, hard: hard, soft: soft, reward: rw, budget: budget}, nil
+}
+
+// Catalog returns the environment's item catalog.
+func (e *Env) Catalog() *item.Catalog { return e.catalog }
+
+// Hard returns P_hard.
+func (e *Env) Hard() constraints.Hard { return e.hard }
+
+// Soft returns P_soft.
+func (e *Env) Soft() constraints.Soft { return e.soft }
+
+// RewardConfig returns the Equation 2 configuration.
+func (e *Env) RewardConfig() reward.Config { return e.reward }
+
+// Budget returns the trajectory budget.
+func (e *Env) Budget() Budget { return e.budget }
+
+// NumItems returns |I|, the size of the state space.
+func (e *Env) NumItems() int { return e.catalog.Len() }
+
+// Episode is the mutable state of one trajectory.
+type Episode struct {
+	env       *Env
+	seq       []int
+	seqTypes  []item.Type
+	positions map[string]int
+	current   bitset.Set // T_current
+	credits   float64
+	distance  float64
+	chosen    []bool
+}
+
+// Start begins an episode at the given item (state s_1 of Algorithm 1).
+// The start item joins the plan and seeds T_current; no reward attaches to
+// it because rewards belong to transitions.
+func (e *Env) Start(start int) (*Episode, error) {
+	if start < 0 || start >= e.catalog.Len() {
+		return nil, fmt.Errorf("mdp: start item %d out of range [0,%d)", start, e.catalog.Len())
+	}
+	ep := &Episode{
+		env:       e,
+		seq:       make([]int, 0, e.hard.Length()+1),
+		seqTypes:  make([]item.Type, 0, e.hard.Length()+1),
+		positions: make(map[string]int, e.hard.Length()+1),
+		current:   bitset.New(e.catalog.Vocabulary().Len()),
+		chosen:    make([]bool, e.catalog.Len()),
+	}
+	ep.admit(start)
+	return ep, nil
+}
+
+// admit appends an item to the trajectory and updates the derived state.
+func (ep *Episode) admit(idx int) {
+	m := ep.env.catalog.At(idx)
+	if n := len(ep.seq); n > 0 {
+		prev := ep.env.catalog.At(ep.seq[n-1])
+		ep.distance += geo.Haversine(
+			geo.Point{Lat: prev.Lat, Lon: prev.Lon},
+			geo.Point{Lat: m.Lat, Lon: m.Lon})
+	}
+	ep.positions[m.ID] = len(ep.seq)
+	ep.seq = append(ep.seq, idx)
+	ep.seqTypes = append(ep.seqTypes, m.Type)
+	ep.current.UnionInPlace(m.Topics)
+	ep.credits += m.Credits
+	ep.chosen[idx] = true
+}
+
+// Len returns the number of items in the trajectory so far.
+func (ep *Episode) Len() int { return len(ep.seq) }
+
+// Sequence returns a copy of the item indices chosen so far.
+func (ep *Episode) Sequence() []int { return append([]int(nil), ep.seq...) }
+
+// Types returns a copy of the type sequence chosen so far.
+func (ep *Episode) Types() []item.Type { return append([]item.Type(nil), ep.seqTypes...) }
+
+// Credits returns the credits spent so far.
+func (ep *Episode) Credits() float64 { return ep.credits }
+
+// Distance returns the path length walked so far in kilometers.
+func (ep *Episode) Distance() float64 { return ep.distance }
+
+// Coverage returns a copy of T_current.
+func (ep *Episode) Coverage() bitset.Set { return ep.current.Clone() }
+
+// Last returns the index of the current state's item (the last chosen).
+func (ep *Episode) Last() int { return ep.seq[len(ep.seq)-1] }
+
+// Done reports whether the trajectory budget is exhausted.
+func (ep *Episode) Done() bool {
+	return ep.env.budget.Done(ep.credits, len(ep.seq))
+}
+
+// CanStep reports whether item idx may be added: not yet chosen, within
+// the trajectory budget and, for trips, within the distance threshold d.
+func (ep *Episode) CanStep(idx int) bool {
+	if idx < 0 || idx >= len(ep.chosen) || ep.chosen[idx] {
+		return false
+	}
+	m := ep.env.catalog.At(idx)
+	if !ep.env.budget.Allows(ep.credits, len(ep.seq), m.Credits) {
+		return false
+	}
+	if d := ep.env.hard.MaxDistanceKm; d > 0 {
+		prev := ep.env.catalog.At(ep.Last())
+		leg := geo.Haversine(
+			geo.Point{Lat: prev.Lat, Lon: prev.Lon},
+			geo.Point{Lat: m.Lat, Lon: m.Lon})
+		if ep.distance+leg > d {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates returns every item CanStep admits, in catalog order.
+func (ep *Episode) Candidates() []int {
+	var out []int
+	for idx := range ep.chosen {
+		if ep.CanStep(idx) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Transition computes the Equation 2 facts for adding item idx without
+// mutating the episode. Callers should ensure CanStep(idx).
+func (ep *Episode) Transition(idx int) reward.Transition {
+	m := ep.env.catalog.At(idx)
+	themeOK := true
+	if ep.env.hard.ThemeGap && len(ep.seq) > 0 {
+		prev := ep.env.catalog.At(ep.Last())
+		if m.Category != item.NoCategory && m.Category == prev.Category {
+			themeOK = false
+		}
+	}
+	return reward.Transition{
+		SeqTypes:     append(ep.Types(), m.Type),
+		CoverageGain: m.Topics.NewCoverage(ep.current, ep.env.soft.Ideal),
+		IdealSize:    ep.env.soft.Ideal.Count(),
+		PrereqOK:     prereq.Satisfied(m.Prereq, len(ep.seq), ep.positions, ep.env.hard.Gap),
+		ThemeOK:      themeOK,
+		Type:         m.Type,
+		Category:     m.Category,
+		Popularity:   m.Popularity,
+	}
+}
+
+// Reward returns R(s_i, e, s_{i+1}) for adding item idx, without stepping.
+func (ep *Episode) Reward(idx int) float64 {
+	return ep.env.reward.Reward(ep.Transition(idx))
+}
+
+// Step adds item idx to the trajectory and returns its reward. It panics
+// if the item was already chosen; budget checks are the caller's job via
+// CanStep so learners can deliberately explore over-budget actions if they
+// wish (the environment still scores them).
+func (ep *Episode) Step(idx int) float64 {
+	if idx < 0 || idx >= len(ep.chosen) {
+		panic(fmt.Sprintf("mdp: step index %d out of range", idx))
+	}
+	if ep.chosen[idx] {
+		panic(fmt.Sprintf("mdp: item %d already chosen", idx))
+	}
+	r := ep.Reward(idx)
+	ep.admit(idx)
+	return r
+}

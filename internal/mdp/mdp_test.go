@@ -1,0 +1,311 @@
+package mdp_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/fixture"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/reward"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+)
+
+// courseEnv builds the Table II toy environment with ε = 1 and the Example
+// 1 ideal vector, as used by the paper's worked examples.
+func courseEnv(t *testing.T) *mdp.Env {
+	t.Helper()
+	c := fixture.Courses()
+	rw := reward.Config{
+		Delta:    0.6,
+		Beta:     0.4,
+		Epsilon:  1,
+		Weights:  reward.Weights{Primary: 0.6, Secondary: 0.4},
+		Sim:      seqsim.Average,
+		Template: fixture.CourseTemplate(),
+	}
+	env, err := mdp.NewEnv(c, fixture.CourseHard(), fixture.CourseSoft(), rw, mdp.CountBudget{H: 6})
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func idx(t *testing.T, c *item.Catalog, id string) int {
+	t.Helper()
+	i, ok := c.Index(id)
+	if !ok {
+		t.Fatalf("unknown id %q", id)
+	}
+	return i
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	c := fixture.Courses()
+	rw := reward.DefaultCourseConfig(fixture.CourseTemplate())
+	if _, err := mdp.NewEnv(nil, fixture.CourseHard(), fixture.CourseSoft(), rw, mdp.CountBudget{H: 6}); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := mdp.NewEnv(c, fixture.CourseHard(), fixture.CourseSoft(), rw, nil); err == nil {
+		t.Fatal("nil budget accepted")
+	}
+	bad := rw
+	bad.Delta = 0.5
+	if _, err := mdp.NewEnv(c, fixture.CourseHard(), fixture.CourseSoft(), bad, mdp.CountBudget{H: 6}); err == nil {
+		t.Fatal("invalid reward config accepted")
+	}
+	soft := fixture.CourseSoft()
+	soft.Ideal = fixture.TripIdeal() // wrong length
+	if _, err := mdp.NewEnv(c, fixture.CourseHard(), soft, rw, mdp.CountBudget{H: 6}); err == nil {
+		t.Fatal("mismatched ideal vector accepted")
+	}
+	soft = fixture.CourseSoft()
+	soft.Template = fixture.TripTemplate() // 2/3 split, hard wants 3/3
+	if _, err := mdp.NewEnv(c, fixture.CourseHard(), soft, rw, mdp.CountBudget{H: 6}); err == nil {
+		t.Fatal("mismatched template accepted")
+	}
+}
+
+func TestPaperRewardExampleM2ToM4VsM5(t *testing.T) {
+	// §III-B.1: from a state where m2 (Data Mining) was taken, adding m4
+	// (Linear Algebra) has r1 = 1 but adding m5 (Big Data) has r1 = 0.
+	env := courseEnv(t)
+	c := env.Catalog()
+	ep, err := env.Start(idx(t, c, "Data Mining"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trM4 := ep.Transition(idx(t, c, "Linear Algebra"))
+	if trM4.CoverageGain < 1 {
+		t.Fatalf("m4 coverage gain = %d, want ≥ 1", trM4.CoverageGain)
+	}
+	if env.RewardConfig().R1(trM4.CoverageGain, trM4.IdealSize) != 1 {
+		t.Fatal("r1(m4) should be 1")
+	}
+
+	trM5 := ep.Transition(idx(t, c, "Big Data"))
+	if env.RewardConfig().R1(trM5.CoverageGain, trM5.IdealSize) != 0 {
+		t.Fatalf("r1(m5) should be 0, coverage gain = %d", trM5.CoverageGain)
+	}
+	// m5's reward is zero regardless of its prerequisite state.
+	if r := ep.Reward(idx(t, c, "Big Data")); r != 0 {
+		t.Fatalf("reward(m5) = %v, want 0", r)
+	}
+}
+
+func TestPrereqGapInTransitions(t *testing.T) {
+	env := courseEnv(t)
+	c := env.Catalog()
+	ep, _ := env.Start(idx(t, c, "Data Mining"))
+	ep.Step(idx(t, c, "Data Structures and Algorithms"))
+	ep.Step(idx(t, c, "Linear Algebra"))
+
+	// Big Data at position 3: Data Mining at position 0, distance 3 ≥ gap 3.
+	tr := ep.Transition(idx(t, c, "Big Data"))
+	if !tr.PrereqOK {
+		t.Fatal("Big Data prereq should be satisfied at distance 3")
+	}
+
+	// Machine Learning at position 3: Linear Algebra at position 2,
+	// distance 1 < 3 → unsatisfied.
+	tr = ep.Transition(idx(t, c, "Machine Learning"))
+	if tr.PrereqOK {
+		t.Fatal("Machine Learning prereq should fail the gap")
+	}
+	if r := ep.Reward(idx(t, c, "Machine Learning")); r != 0 {
+		t.Fatalf("reward = %v, want 0 when r2 = 0", r)
+	}
+}
+
+func TestEpisodeBookkeeping(t *testing.T) {
+	env := courseEnv(t)
+	c := env.Catalog()
+	ep, _ := env.Start(idx(t, c, "Data Mining"))
+	if ep.Len() != 1 || ep.Credits() != 3 {
+		t.Fatalf("after start: len=%d credits=%v", ep.Len(), ep.Credits())
+	}
+	ep.Step(idx(t, c, "Linear Algebra"))
+	if ep.Len() != 2 || ep.Credits() != 6 {
+		t.Fatalf("after step: len=%d credits=%v", ep.Len(), ep.Credits())
+	}
+	types := ep.Types()
+	if types[0] != item.Secondary || types[1] != item.Secondary {
+		t.Fatalf("types = %v", types)
+	}
+	cov := ep.Coverage()
+	// m2 topics {1,2} ∪ m4 topics {8,9}.
+	if cov.Count() != 4 {
+		t.Fatalf("coverage count = %d, want 4", cov.Count())
+	}
+	if ep.Last() != idx(t, c, "Linear Algebra") {
+		t.Fatal("Last mismatch")
+	}
+	seq := ep.Sequence()
+	seq[0] = 99
+	if ep.Sequence()[0] == 99 {
+		t.Fatal("Sequence leaked internal slice")
+	}
+}
+
+func TestCountBudgetTermination(t *testing.T) {
+	env := courseEnv(t)
+	c := env.Catalog()
+	ep, _ := env.Start(0)
+	steps := []string{"Data Mining", "Data Analytics", "Linear Algebra", "Big Data", "Machine Learning"}
+	for _, id := range steps {
+		if ep.Done() {
+			t.Fatalf("Done before H items (len=%d)", ep.Len())
+		}
+		ep.Step(idx(t, c, id))
+	}
+	if !ep.Done() {
+		t.Fatal("not Done after H = 6 items")
+	}
+	if got := ep.Candidates(); len(got) != 0 {
+		t.Fatalf("candidates after Done = %v", got)
+	}
+}
+
+func TestStepPanics(t *testing.T) {
+	env := courseEnv(t)
+	ep, _ := env.Start(0)
+	for _, idx := range []int{-1, 99, 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Step(%d) did not panic", idx)
+				}
+			}()
+			ep.Step(idx)
+		}()
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	env := courseEnv(t)
+	if _, err := env.Start(-1); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := env.Start(env.NumItems()); err == nil {
+		t.Fatal("out-of-range start accepted")
+	}
+}
+
+func tripEnv(t *testing.T) *mdp.Env {
+	t.Helper()
+	c := fixture.Trip()
+	rw := reward.DefaultTripConfig(fixture.TripTemplate())
+	env, err := mdp.NewEnv(c, fixture.TripHard(), fixture.TripSoft(), rw,
+		mdp.TimeBudget{Hours: 6, MaxItems: 5})
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func TestTimeBudget(t *testing.T) {
+	b := mdp.TimeBudget{Hours: 6, MaxItems: 5}
+	if b.Done(5.9, 3) {
+		t.Fatal("Done before budget")
+	}
+	if !b.Done(6, 3) {
+		t.Fatal("not Done at budget")
+	}
+	if !b.Done(2, 5) {
+		t.Fatal("not Done at item cap")
+	}
+	if b.Allows(5, 3, 2) {
+		t.Fatal("Allows should reject overflow (5+2 > 6)")
+	}
+	if !b.Allows(5, 3, 1) {
+		t.Fatal("Allows should accept exact fit")
+	}
+}
+
+func TestTripThemeGapTransition(t *testing.T) {
+	env := tripEnv(t)
+	c := env.Catalog()
+	ep, _ := env.Start(idx(t, c, "Louvre Museum"))
+	// Orsay is also a museum (same category) → ThemeOK = false, reward 0.
+	tr := ep.Transition(idx(t, c, "Musée d'Orsay"))
+	if tr.ThemeOK {
+		t.Fatal("consecutive museums should violate the theme gap")
+	}
+	if r := ep.Reward(idx(t, c, "Musée d'Orsay")); r != 0 {
+		t.Fatalf("reward = %v, want 0", r)
+	}
+	// Seine (river) is fine.
+	tr = ep.Transition(idx(t, c, "The River Seine"))
+	if !tr.ThemeOK {
+		t.Fatal("river after museum should satisfy the theme gap")
+	}
+}
+
+func TestTripTimeBudgetStopsEpisode(t *testing.T) {
+	env := tripEnv(t)
+	c := env.Catalog()
+	ep, _ := env.Start(idx(t, c, "Louvre Museum")) // 2h
+	ep.Step(idx(t, c, "The River Seine"))          // 3h
+	ep.Step(idx(t, c, "Eiffel Tower"))             // 4.5h
+	ep.Step(idx(t, c, "Pantheon"))                 // 5.5h
+	// Orsay needs 1.5h: 5.5+1.5 = 7 > 6 → not steppable.
+	if ep.CanStep(idx(t, c, "Musée d'Orsay")) {
+		t.Fatal("over-budget POI should not be steppable")
+	}
+	// Rue des Martyrs needs 0.5h → fits exactly.
+	if !ep.CanStep(idx(t, c, "Rue des Martyrs")) {
+		t.Fatal("fitting POI should be steppable")
+	}
+	ep.Step(idx(t, c, "Rue des Martyrs"))
+	if !ep.Done() {
+		t.Fatalf("episode should be done at %v hours / %d items", ep.Credits(), ep.Len())
+	}
+}
+
+func TestDistanceThresholdFiltersCandidates(t *testing.T) {
+	c := fixture.Trip()
+	hard := fixture.TripHard()
+	hard.MaxDistanceKm = 2
+	rw := reward.DefaultTripConfig(fixture.TripTemplate())
+	env, err := mdp.NewEnv(c, hard, fixture.TripSoft(), rw, mdp.TimeBudget{Hours: 6, MaxItems: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := env.Start(idx(t, c, "Eiffel Tower"))
+	// Pantheon is ~4 km from the Eiffel Tower: beyond the 2 km budget.
+	if ep.CanStep(idx(t, c, "Pantheon")) {
+		t.Fatal("distant POI should be filtered by d")
+	}
+	if ep.Distance() != 0 {
+		t.Fatalf("distance after start = %v", ep.Distance())
+	}
+}
+
+func TestRewardValueMatchesEquation2(t *testing.T) {
+	env := courseEnv(t)
+	c := env.Catalog()
+	ep, _ := env.Start(idx(t, c, "Data Structures and Algorithms")) // primary
+	// Add Data Mining (secondary): sequence [P,S].
+	// Match vectors vs template: I1=[P,P,..]→[1,0]; I2=[P,S,..]→[1,1]; I3=[P,S,..]→[1,1].
+	// Sims: 1*1/2=0.5; 2*2/2=2; 2. AvgSim = 4.5/3 = 1.5.
+	want := 0.6*1.5 + 0.4*0.4
+	got := ep.Reward(idx(t, c, "Data Mining"))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("reward = %v, want %v", got, want)
+	}
+}
+
+func TestCandidatesExcludeChosen(t *testing.T) {
+	env := courseEnv(t)
+	ep, _ := env.Start(0)
+	cands := ep.Candidates()
+	if len(cands) != 5 {
+		t.Fatalf("candidates = %v, want 5 items", cands)
+	}
+	for _, i := range cands {
+		if i == 0 {
+			t.Fatal("start item among candidates")
+		}
+	}
+}

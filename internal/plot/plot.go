@@ -1,0 +1,131 @@
+// Package plot renders small text charts — grouped horizontal bar charts
+// for Figure 1 and line charts for Figure 2 — so the reproduction harness
+// can show the paper's figures as figures, not only as tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	// Name labels the series.
+	Name string
+	// Values are the data points, index-aligned with the chart's labels.
+	Values []float64
+}
+
+// Bars renders a grouped horizontal bar chart: one group per label, one
+// bar per series, scaled to width characters at the maximum value.
+func Bars(w io.Writer, title string, labels []string, series []Series, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	nameWidth := 0
+	for _, s := range series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for li, label := range labels {
+		fmt.Fprintf(&b, "%s\n", label)
+		for _, s := range series {
+			v := 0.0
+			if li < len(s.Values) {
+				v = s.Values[li]
+			}
+			n := 0
+			if max > 0 {
+				n = int(math.Round(float64(width) * v / max))
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.2f\n", nameWidth, s.Name, strings.Repeat("█", n), v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Lines renders series against shared x labels as a height×width character
+// grid — enough to show the linear learning-time trend of Figure 2.
+func Lines(w io.Writer, title string, xlabels []string, series []Series, width, height int) error {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 10
+	}
+	max := 0.0
+	points := 0
+	for _, s := range series {
+		if len(s.Values) > points {
+			points = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if points < 2 || max == 0 {
+		return fmt.Errorf("plot: need at least two points with a positive maximum")
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s.Values {
+			col := i * (width - 1) / (points - 1)
+			row := height - 1 - int(math.Round(v/max*float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%8.2f ┤\n", max)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.2f └%s\n", 0.0, strings.Repeat("─", width))
+	// X labels, spread across the width (with room for the last label to
+	// extend past the axis).
+	lab := make([]byte, width+24)
+	for i := range lab {
+		lab[i] = ' '
+	}
+	for i, xl := range xlabels {
+		col := 10 + i*(width-1)/(points-1)
+		for j := 0; j < len(xl) && col+j < len(lab); j++ {
+			lab[col+j] = xl[j]
+		}
+	}
+	b.Write(lab)
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "         %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	err := Bars(&sb, "Fig 1(a)", []string{"DS-CT", "CS"}, []Series{
+		{Name: "RL", Values: []float64{7.9, 7.9}},
+		{Name: "Gold", Values: []float64{10, 10}},
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 1(a)", "DS-CT", "RL", "Gold", "10.00", "7.90"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Gold's bar (max) must be exactly 20 blocks; RL's shorter.
+	lines := strings.Split(out, "\n")
+	var goldBlocks, rlBlocks int
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if strings.Contains(l, "Gold") && n > goldBlocks {
+			goldBlocks = n
+		}
+		if strings.Contains(l, "RL") && n > rlBlocks {
+			rlBlocks = n
+		}
+	}
+	if goldBlocks != 20 {
+		t.Fatalf("gold bar = %d blocks, want 20", goldBlocks)
+	}
+	if rlBlocks >= goldBlocks || rlBlocks == 0 {
+		t.Fatalf("rl bar = %d blocks vs gold %d", rlBlocks, goldBlocks)
+	}
+}
+
+func TestBarsHandlesZeroAndMissing(t *testing.T) {
+	var sb strings.Builder
+	err := Bars(&sb, "", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{0}}, // short series: b has no value
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.00") {
+		t.Fatalf("zero bar not rendered:\n%s", sb.String())
+	}
+}
+
+func TestLines(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, "Fig 2(a)", []string{"100", "500", "1000"}, []Series{
+		{Name: "learn ms", Values: []float64{4.5, 24, 45}},
+	}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 2(a)", "45.00", "learn ms", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Three plotted points plus one '*' in the legend.
+	if strings.Count(out, "*") != 4 {
+		t.Fatalf("want 3 plotted points + legend:\n%s", out)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Lines(&sb, "", []string{"x"}, []Series{{Values: []float64{1}}}, 10, 5); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if err := Lines(&sb, "", []string{"a", "b"}, []Series{{Values: []float64{0, 0}}}, 10, 5); err == nil {
+		t.Fatal("all-zero series accepted")
+	}
+}
+
+func TestLinesMonotoneRows(t *testing.T) {
+	// A strictly increasing series must plot strictly non-increasing rows
+	// (higher values sit higher on the chart).
+	var sb strings.Builder
+	if err := Lines(&sb, "", []string{"1", "2", "3", "4"}, []Series{
+		{Name: "up", Values: []float64{1, 2, 3, 4}},
+	}, 30, 12); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	lastRow := -1
+	// Scan rows top-down; record the row index of each '*' by column order.
+	type pt struct{ row, col int }
+	var pts []pt
+	for r, l := range lines {
+		if strings.Contains(l, " = ") { // legend line
+			continue
+		}
+		for c, ch := range l {
+			if ch == '*' {
+				pts = append(pts, pt{r, c})
+			}
+		}
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].col < pts[j].col })
+	// Later columns (larger x) must sit on higher rows (smaller r).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].row >= pts[i-1].row {
+			t.Fatalf("increasing series not rising on chart: %v", pts)
+		}
+	}
+	_ = lastRow
+}

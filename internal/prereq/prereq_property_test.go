@@ -1,0 +1,145 @@
+package prereq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randExpr builds a random expression over items "i0".."i9" with bounded
+// depth.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		return Ref(fmt.Sprintf("i%d", r.Intn(10)))
+	}
+	n := 2 + r.Intn(2)
+	kids := make([]Expr, n)
+	for i := range kids {
+		kids[i] = randExpr(r, depth-1)
+	}
+	if r.Intn(2) == 0 {
+		return And(kids)
+	}
+	return Or(kids)
+}
+
+// randPositions places a random subset of items at random positions.
+func randPositions(r *rand.Rand) map[string]int {
+	pos := make(map[string]int)
+	for i := 0; i < 10; i++ {
+		if r.Intn(2) == 0 {
+			pos[fmt.Sprintf("i%d", i)] = r.Intn(8)
+		}
+	}
+	return pos
+}
+
+func TestPropertyGapMonotone(t *testing.T) {
+	// Satisfaction is antitone in gap: if an expression holds at gap g,
+	// it holds at every smaller gap.
+	r := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randExpr(rr, 2)
+		pos := randPositions(rr)
+		at := 8 + rr.Intn(4)
+		g := 1 + rr.Intn(5)
+		if !Satisfied(e, at, pos, g) {
+			return true // nothing to check
+		}
+		for smaller := g - 1; smaller >= 0; smaller-- {
+			if !Satisfied(e, at, pos, smaller) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestPropertyPositionMonotone(t *testing.T) {
+	// Satisfaction is monotone in the item's position: moving the item
+	// later (with the same antecedent positions) cannot break it.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randExpr(rr, 2)
+		pos := randPositions(rr)
+		at := 8 + rr.Intn(4)
+		g := 1 + rr.Intn(4)
+		if !Satisfied(e, at, pos, g) {
+			return true
+		}
+		return Satisfied(e, at+1, pos, g) && Satisfied(e, at+5, pos, g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyParseFormatFixpoint(t *testing.T) {
+	// Format(Parse(Format(e))) == Format(e): rendering is a fixpoint.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randExpr(rr, 3)
+		rendered := Format(e)
+		parsed, err := Parse(rendered)
+		if err != nil {
+			return false
+		}
+		return Format(parsed) == rendered
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyParsedSemanticsMatch(t *testing.T) {
+	// The reparsed expression evaluates identically to the original over
+	// random position maps.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randExpr(rr, 3)
+		parsed, err := Parse(Format(e))
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			pos := randPositions(rr)
+			at := rr.Intn(12)
+			g := rr.Intn(5)
+			if Satisfied(e, at, pos, g) != Satisfied(parsed, at, pos, g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAndImpliesOr(t *testing.T) {
+	// And(kids) satisfied ⇒ Or(kids) satisfied (for non-empty kid sets).
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(3)
+		kids := make([]Expr, n)
+		for i := range kids {
+			kids[i] = randExpr(rr, 1)
+		}
+		pos := randPositions(rr)
+		at := 8 + rr.Intn(4)
+		g := 1 + rr.Intn(3)
+		if And(kids).SatisfiedAt(at, pos, g) {
+			return Or(kids).SatisfiedAt(at, pos, g)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

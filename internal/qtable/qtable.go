@@ -1,0 +1,179 @@
+// Package qtable provides the dense |I|×|I| action-value table of §III-C.
+// Q(s, e) estimates the value of taking action e (moving to item e) from
+// state s (item s). The table supports masked arg-max queries (exclude
+// already-chosen items), snapshot persistence in both gob (compact) and
+// JSON (interoperable) encodings, and deterministic tie-breaking hooks.
+package qtable
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Table is a dense action-value table over n items. The zero Table is not
+// usable; construct with New.
+type Table struct {
+	n int
+	q []float64 // row-major: q[s*n+e]
+}
+
+// New returns an n×n table of zeros.
+func New(n int) *Table {
+	if n < 0 {
+		panic(fmt.Sprintf("qtable: negative size %d", n))
+	}
+	return &Table{n: n, q: make([]float64, n*n)}
+}
+
+// Size returns n, the number of items (states).
+func (t *Table) Size() int { return t.n }
+
+func (t *Table) check(s, e int) {
+	if s < 0 || s >= t.n || e < 0 || e >= t.n {
+		panic(fmt.Sprintf("qtable: index (%d,%d) out of range [0,%d)", s, e, t.n))
+	}
+}
+
+// Get returns Q(s, e).
+func (t *Table) Get(s, e int) float64 {
+	t.check(s, e)
+	return t.q[s*t.n+e]
+}
+
+// Set assigns Q(s, e) = v.
+func (t *Table) Set(s, e int, v float64) {
+	t.check(s, e)
+	t.q[s*t.n+e] = v
+}
+
+// Update applies the SARSA temporal-difference update of Equation 9:
+//
+//	Q(s,e) ← Q(s,e) + α[r + γ·Q(s',e') − Q(s,e)]
+//
+// and returns the new value.
+func (t *Table) Update(s, e int, alpha, r, gamma float64, sNext, eNext int) float64 {
+	t.check(s, e)
+	target := r
+	if sNext >= 0 && eNext >= 0 {
+		target += gamma * t.Get(sNext, eNext)
+	}
+	i := s*t.n + e
+	t.q[i] += alpha * (target - t.q[i])
+	return t.q[i]
+}
+
+// ArgMax returns the action e maximizing Q(s, e) among those allowed by
+// the mask (allowed == nil means every action). Ties resolve to the lowest
+// index for determinism; callers wanting random tie-breaks use ArgMaxTies.
+// ok is false when no action is allowed.
+func (t *Table) ArgMax(s int, allowed func(e int) bool) (e int, ok bool) {
+	best, found := math.Inf(-1), false
+	e = -1
+	row := t.q[s*t.n : (s+1)*t.n]
+	for a, v := range row {
+		if allowed != nil && !allowed(a) {
+			continue
+		}
+		if !found || v > best {
+			best, e, found = v, a, true
+		}
+	}
+	return e, found
+}
+
+// ArgMaxTies returns every action tied for the maximum Q(s, e) among the
+// allowed ones. The result is nil when no action is allowed.
+func (t *Table) ArgMaxTies(s int, allowed func(e int) bool) []int {
+	best, found := math.Inf(-1), false
+	var ties []int
+	row := t.q[s*t.n : (s+1)*t.n]
+	for a, v := range row {
+		if allowed != nil && !allowed(a) {
+			continue
+		}
+		switch {
+		case !found || v > best:
+			best, found = v, true
+			ties = ties[:0]
+			ties = append(ties, a)
+		case v == best:
+			ties = append(ties, a)
+		}
+	}
+	return ties
+}
+
+// Row returns a copy of Q(s, ·).
+func (t *Table) Row(s int) []float64 {
+	t.check(s, 0)
+	return append([]float64(nil), t.q[s*t.n:(s+1)*t.n]...)
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := New(t.n)
+	copy(c.q, t.q)
+	return c
+}
+
+// Fill sets every entry to v (useful for optimistic initialization).
+func (t *Table) Fill(v float64) {
+	for i := range t.q {
+		t.q[i] = v
+	}
+}
+
+// MaxAbs returns the largest |Q(s,e)| in the table; 0 for an empty table.
+func (t *Table) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.q {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// snapshot is the serialized form shared by gob and JSON.
+type snapshot struct {
+	N int       `json:"n"`
+	Q []float64 `json:"q"`
+}
+
+// WriteGob writes the table in gob encoding.
+func (t *Table) WriteGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snapshot{N: t.n, Q: t.q})
+}
+
+// ReadGob reads a table previously written with WriteGob.
+func ReadGob(r io.Reader) (*Table, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("qtable: decode gob: %w", err)
+	}
+	return fromSnapshot(s)
+}
+
+// WriteJSON writes the table as JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(snapshot{N: t.n, Q: t.q})
+}
+
+// ReadJSON reads a table previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var s snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("qtable: decode json: %w", err)
+	}
+	return fromSnapshot(s)
+}
+
+func fromSnapshot(s snapshot) (*Table, error) {
+	if s.N < 0 || len(s.Q) != s.N*s.N {
+		return nil, fmt.Errorf("qtable: corrupt snapshot: n=%d, %d values", s.N, len(s.Q))
+	}
+	return &Table{n: s.N, q: s.Q}, nil
+}

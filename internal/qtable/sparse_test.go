@@ -1,0 +1,133 @@
+package qtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseBasics(t *testing.T) {
+	q := NewSparse(4)
+	if q.Size() != 4 || q.Entries() != 0 {
+		t.Fatalf("fresh sparse: size=%d entries=%d", q.Size(), q.Entries())
+	}
+	q.Set(1, 2, 3.5)
+	if q.Get(1, 2) != 3.5 || q.Get(2, 1) != 0 {
+		t.Fatal("Get/Set mismatch")
+	}
+	if q.Entries() != 1 {
+		t.Fatalf("entries = %d", q.Entries())
+	}
+	// Writing zero removes the entry.
+	q.Set(1, 2, 0)
+	if q.Entries() != 0 {
+		t.Fatal("zero write kept the entry")
+	}
+}
+
+func TestSparsePanics(t *testing.T) {
+	q := NewSparse(3)
+	for _, fn := range []func(){
+		func() { q.Get(3, 0) },
+		func() { q.Set(0, -1, 1) },
+		func() { NewSparse(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSparseMatchesDenseUpdates(t *testing.T) {
+	// The sparse table is behaviorally identical to the dense one under
+	// random update/argmax workloads.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		dense := New(n)
+		sparse := NewSparse(n)
+		for op := 0; op < 60; op++ {
+			s, e := rng.Intn(n), rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.NormFloat64()
+				dense.Set(s, e, v)
+				sparse.Set(s, e, v)
+			case 1:
+				sn, en := rng.Intn(n), rng.Intn(n)
+				a, r, g := rng.Float64(), rng.NormFloat64(), rng.Float64()
+				if dense.Update(s, e, a, r, g, sn, en) != sparse.Update(s, e, a, r, g, sn, en) {
+					return false
+				}
+			case 2:
+				var mask func(int) bool
+				if rng.Intn(2) == 0 {
+					banned := rng.Intn(n)
+					mask = func(a int) bool { return a != banned }
+				}
+				de, dok := dense.ArgMax(s, mask)
+				se, sok := sparse.ArgMax(s, mask)
+				if de != se || dok != sok {
+					return false
+				}
+			}
+		}
+		// Full-table equality at the end.
+		for s := 0; s < n; s++ {
+			for e := 0; e < n; e++ {
+				if dense.Get(s, e) != sparse.Get(s, e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseToDense(t *testing.T) {
+	q := NewSparse(5)
+	q.Set(0, 4, 2)
+	q.Set(3, 1, -1)
+	d := q.ToDense()
+	if d.Get(0, 4) != 2 || d.Get(3, 1) != -1 || d.Get(1, 1) != 0 {
+		t.Fatal("ToDense mismatch")
+	}
+}
+
+func BenchmarkSparseUpdate(b *testing.B) {
+	q := NewSparse(1216)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Update(i%1216, (i+1)%1216, 0.75, 1, 0.95, (i+2)%1216, (i+3)%1216)
+	}
+}
+
+// BenchmarkAblationQStorage contrasts dense and sparse storage on a
+// institution-scale table under a SARSA-like access pattern.
+func BenchmarkAblationQStorage(b *testing.B) {
+	const n = 1216
+	b.Run("dense", func(b *testing.B) {
+		q := New(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.Update(i%n, (i+7)%n, 0.75, 1, 0.95, (i+7)%n, (i+13)%n)
+			q.ArgMax(i%n, nil)
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		q := NewSparse(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.Update(i%n, (i+7)%n, 0.75, 1, 0.95, (i+7)%n, (i+13)%n)
+			q.ArgMax(i%n, nil)
+		}
+	})
+}

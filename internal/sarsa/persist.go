@@ -1,0 +1,53 @@
+package sarsa
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/rlplanner/rlplanner/internal/qtable"
+)
+
+// policySnapshot is the serialized form of a Policy.
+type policySnapshot struct {
+	N   int
+	Q   []float64
+	IDs []string
+}
+
+// WriteGob persists the policy (Q table plus item-id alignment) so learned
+// policies can be stored, shipped and reloaded for interactive use or
+// transfer.
+func (p *Policy) WriteGob(w io.Writer) error {
+	if p.Q == nil {
+		return fmt.Errorf("sarsa: nil Q table")
+	}
+	n := p.Q.Size()
+	snap := policySnapshot{N: n, IDs: p.IDs}
+	snap.Q = make([]float64, 0, n*n)
+	for s := 0; s < n; s++ {
+		snap.Q = append(snap.Q, p.Q.Row(s)...)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadPolicy loads a policy written by WriteGob.
+func ReadPolicy(r io.Reader) (*Policy, error) {
+	var snap policySnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("sarsa: decode policy: %w", err)
+	}
+	if snap.N < 0 || len(snap.Q) != snap.N*snap.N {
+		return nil, fmt.Errorf("sarsa: corrupt policy snapshot (n=%d, %d values)", snap.N, len(snap.Q))
+	}
+	if len(snap.IDs) != 0 && len(snap.IDs) != snap.N {
+		return nil, fmt.Errorf("sarsa: policy ids (%d) do not match table size %d", len(snap.IDs), snap.N)
+	}
+	q := qtable.New(snap.N)
+	for s := 0; s < snap.N; s++ {
+		for e := 0; e < snap.N; e++ {
+			q.Set(s, e, snap.Q[s*snap.N+e])
+		}
+	}
+	return &Policy{Q: q, IDs: snap.IDs}, nil
+}

@@ -1,0 +1,581 @@
+// Package sarsa implements the learning and recommendation procedures of
+// Algorithm 1 (§III-C): an on-policy SARSA agent that learns the Q table
+// over the item graph, and a recommender that walks the learned table
+// greedily from a start item until the trajectory budget H is spent.
+//
+// Action selection during learning follows Algorithm 1, which picks the
+// action maximizing the immediate reward of Equation 2 (lines 4 and 9),
+// augmented with ε-greedy random exploration so that the number of
+// episodes N, the learning rate α and the discount factor γ have the
+// effect the robustness study (§IV-E) observes. A Q-greedy selection
+// variant is provided for the ablation study.
+package sarsa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/geo"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/qtable"
+)
+
+// Selection chooses how the learner picks actions during training.
+type Selection uint8
+
+const (
+	// RewardGreedy selects the action with the highest immediate Equation 2
+	// reward (Algorithm 1 lines 4 and 9), with random tie-breaking.
+	RewardGreedy Selection = iota
+	// QGreedy selects the action with the highest current Q value,
+	// breaking ties by immediate reward — the classical SARSA exploitation
+	// rule, used by the ablation bench.
+	QGreedy
+)
+
+// String names the selection strategy.
+func (s Selection) String() string {
+	switch s {
+	case RewardGreedy:
+		return "reward-greedy"
+	case QGreedy:
+		return "q-greedy"
+	default:
+		return fmt.Sprintf("Selection(%d)", uint8(s))
+	}
+}
+
+// RandomStart requests a uniformly random start item each episode.
+const RandomStart = -1
+
+// Algorithm selects the temporal-difference update rule.
+type Algorithm uint8
+
+const (
+	// SARSA is the on-policy update of Equation 9 (the paper's choice:
+	// "known to converge faster and with fewer errors", §III-C).
+	SARSA Algorithm = iota
+	// QLearning is the off-policy variant whose target uses
+	// max_a Q(s', a) over the remaining candidates instead of Q(s', e') —
+	// provided for the ablation bench that checks the paper's
+	// SARSA-over-alternatives claim.
+	QLearning
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SARSA:
+		return "sarsa"
+	case QLearning:
+		return "q-learning"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Config parameterizes the learner. Table III defaults: N = 500 (Univ-1,
+// trips) or 100 (Univ-2), α = 0.75, γ = 0.95 for courses and α = 0.95,
+// γ = 0.75 for trips.
+type Config struct {
+	// Episodes is N, the number of learning episodes.
+	Episodes int
+	// Alpha is the learning rate α ∈ (0, 1].
+	Alpha float64
+	// Gamma is the discount factor γ ∈ [0, 1].
+	Gamma float64
+	// Start is s_1, the fixed start item index, or RandomStart.
+	Start int
+	// Selection picks the exploitation rule (RewardGreedy by default).
+	Selection Selection
+	// Algorithm picks the TD update rule (SARSA by default).
+	Algorithm Algorithm
+	// Explore is the ε-greedy exploration probability (default 0.2 when
+	// zero and DisableExplore is false).
+	Explore float64
+	// DisableExplore turns exploration off entirely — Algorithm 1 exactly
+	// as printed. Learning then repeats one trajectory per start state.
+	DisableExplore bool
+	// Seed drives all randomness; the same seed reproduces the same policy.
+	Seed int64
+}
+
+// DefaultExplore is the exploration probability used when Config.Explore
+// is zero.
+const DefaultExplore = 0.2
+
+// Validate checks parameter ranges.
+func (c Config) Validate() error {
+	if c.Episodes <= 0 {
+		return fmt.Errorf("sarsa: episodes = %d, want > 0", c.Episodes)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("sarsa: α = %g, want (0,1]", c.Alpha)
+	}
+	if c.Gamma < 0 || c.Gamma > 1 {
+		return fmt.Errorf("sarsa: γ = %g, want [0,1]", c.Gamma)
+	}
+	if c.Explore < 0 || c.Explore > 1 {
+		return fmt.Errorf("sarsa: explore = %g, want [0,1]", c.Explore)
+	}
+	return nil
+}
+
+// explore returns the effective exploration probability.
+func (c Config) explore() float64 {
+	if c.DisableExplore {
+		return 0
+	}
+	if c.Explore == 0 {
+		return DefaultExplore
+	}
+	return c.Explore
+}
+
+// Policy is a learned Q table together with the ids of the items its
+// indices refer to, so it can be persisted and transferred across catalogs.
+type Policy struct {
+	// Q is the learned action-value table.
+	Q *qtable.Table
+	// IDs aligns Q's indices with item ids of the learning catalog.
+	IDs []string
+}
+
+// Result reports what a learning run produced.
+type Result struct {
+	// Policy is the learned policy.
+	Policy *Policy
+	// EpisodeReturns holds the total (undiscounted) reward collected in
+	// each episode, in order — the learning curve.
+	EpisodeReturns []float64
+}
+
+// Learn runs Algorithm 1's learning phase on env.
+func Learn(env *mdp.Env, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := env.NumItems()
+	if n == 0 {
+		return nil, fmt.Errorf("sarsa: empty catalog")
+	}
+	if cfg.Start != RandomStart && (cfg.Start < 0 || cfg.Start >= n) {
+		return nil, fmt.Errorf("sarsa: start item %d out of range [0,%d)", cfg.Start, n)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q := qtable.New(n)
+	returns := make([]float64, 0, cfg.Episodes)
+	eps := cfg.explore()
+
+	for i := 0; i < cfg.Episodes; i++ {
+		start := cfg.Start
+		if start == RandomStart {
+			start = rng.Intn(n)
+		}
+		ep, err := env.Start(start)
+		if err != nil {
+			return nil, err
+		}
+		var total float64
+
+		s := start
+		e := selectAction(ep, s, q, cfg.Selection, eps, rng)
+		for e >= 0 {
+			r := ep.Step(e)
+			total += r
+			sNext := e
+			eNext := -1
+			if !ep.Done() {
+				eNext = selectAction(ep, sNext, q, cfg.Selection, eps, rng)
+			}
+			// SARSA bootstraps on the action actually taken next (Eq. 9);
+			// Q-learning bootstraps on the best available next action.
+			target := eNext
+			if cfg.Algorithm == QLearning && !ep.Done() {
+				if best, ok := q.ArgMax(sNext, ep.CanStep); ok {
+					target = best
+				}
+			}
+			if target >= 0 {
+				q.Update(s, e, cfg.Alpha, r, cfg.Gamma, sNext, target)
+			} else {
+				q.Update(s, e, cfg.Alpha, r, cfg.Gamma, -1, -1)
+			}
+			s, e = sNext, eNext
+		}
+		returns = append(returns, total)
+	}
+
+	return &Result{
+		Policy:         &Policy{Q: q, IDs: env.Catalog().IDs()},
+		EpisodeReturns: returns,
+	}, nil
+}
+
+// selectAction picks the next item from the episode's candidates, or -1
+// when none remain. With probability eps it explores uniformly; otherwise
+// it exploits per the selection rule, breaking ties uniformly at random.
+func selectAction(ep *mdp.Episode, s int, q *qtable.Table, sel Selection, eps float64, rng *rand.Rand) int {
+	cands := ep.Candidates()
+	if len(cands) == 0 {
+		return -1
+	}
+	if eps > 0 && rng.Float64() < eps {
+		return cands[rng.Intn(len(cands))]
+	}
+
+	var ties []int
+	switch sel {
+	case QGreedy:
+		best := 0.0
+		for i, c := range cands {
+			v := q.Get(s, c)
+			switch {
+			case i == 0 || v > best:
+				best = v
+				ties = ties[:0]
+				ties = append(ties, c)
+			case v == best:
+				ties = append(ties, c)
+			}
+		}
+		if len(ties) > 1 {
+			// Break Q ties by immediate reward, then randomly.
+			ties = bestByReward(ep, ties)
+		}
+	default: // RewardGreedy, Algorithm 1 lines 4 and 9
+		ties = bestByReward(ep, cands)
+	}
+	return ties[rng.Intn(len(ties))]
+}
+
+// cheapestCompletionFits reports whether, after taking item a, the k
+// cheapest remaining steppable items still fit within the credit ceiling.
+func cheapestCompletionFits(ep *mdp.Episode, catalog *item.Catalog, hard constraints.Hard, a, k int) bool {
+	budget := hard.Credits - ep.Credits() - catalog.At(a).Credits
+	if budget < 0 {
+		return false
+	}
+	var costs []float64
+	for _, c := range ep.Candidates() {
+		if c != a {
+			costs = append(costs, catalog.At(c).Credits)
+		}
+	}
+	if len(costs) < k {
+		return false
+	}
+	sort.Float64s(costs)
+	var need float64
+	for i := 0; i < k; i++ {
+		need += costs[i]
+	}
+	return need <= budget
+}
+
+// bestRewardThenQ returns, among the allowed actions with strictly
+// positive immediate reward, the maximal-reward ones refined by the
+// highest Q value (lowest index on exact Q ties, for determinism).
+func bestRewardThenQ(ep *mdp.Episode, q *qtable.Table, s int, allowed func(int) bool) (int, bool) {
+	const tol = 1e-9
+	bestR := 0.0
+	var ties []int
+	for a := 0; a < q.Size(); a++ {
+		if !allowed(a) {
+			continue
+		}
+		r := ep.Reward(a)
+		if r <= 0 {
+			continue
+		}
+		switch {
+		case r > bestR+tol:
+			bestR = r
+			ties = ties[:0]
+			ties = append(ties, a)
+		case r >= bestR-tol:
+			ties = append(ties, a)
+		}
+	}
+	if len(ties) == 0 {
+		return -1, false
+	}
+	best := ties[0]
+	for _, a := range ties[1:] {
+		if q.Get(s, a) > q.Get(s, best) {
+			best = a
+		}
+	}
+	return best, true
+}
+
+// bestByReward filters cands down to those with the maximal immediate
+// Equation 2 reward.
+func bestByReward(ep *mdp.Episode, cands []int) []int {
+	best := 0.0
+	var ties []int
+	for i, c := range cands {
+		r := ep.Reward(c)
+		switch {
+		case i == 0 || r > best:
+			best = r
+			ties = ties[:0]
+			ties = append(ties, c)
+		case r == best:
+			ties = append(ties, c)
+		}
+	}
+	return ties
+}
+
+// Recommend implements Algorithm 1's recommendation phase: starting from
+// item start, repeatedly follow the highest-Q action among the remaining
+// candidates until the trajectory budget is exhausted. Ties resolve to the
+// lowest index so recommendations are deterministic for a given policy.
+//
+// The returned sequence includes the start item. It can be shorter than
+// P_hard's target length when the budget or the candidate set runs out —
+// those are the "bad" outcomes the transfer-learning study reports.
+func (p *Policy) Recommend(env *mdp.Env, start int) ([]int, error) {
+	return p.recommend(env, start, false)
+}
+
+// RecommendGuided is Recommend with a validity filter: among the remaining
+// candidates it prefers, by Q value, the actions whose Equation 2 gate θ is
+// open (topic gain ≥ ε, antecedents satisfied), falling back to the plain
+// Q arg-max when no currently-valid action exists. The Q table's state is
+// only the last item, so a transition that was valid in the training
+// context can be invalid in the recommendation context; the gate θ is part
+// of the environment model — not of the learned parameters — so consulting
+// it at recommendation time stays within the paper's framework and yields
+// the constraint-satisfying plans §IV-B reports.
+func (p *Policy) RecommendGuided(env *mdp.Env, start int) ([]int, error) {
+	return p.recommend(env, start, true)
+}
+
+func (p *Policy) recommend(env *mdp.Env, start int, guided bool) ([]int, error) {
+	if err := p.compatible(env); err != nil {
+		return nil, err
+	}
+	ep, err := env.Start(start)
+	if err != nil {
+		return nil, err
+	}
+	for !ep.Done() {
+		e, ok := p.nextAction(env, ep, guided, nil)
+		if !ok {
+			break
+		}
+		ep.Step(e)
+	}
+	return ep.Sequence(), nil
+}
+
+// compatible checks that the policy covers the environment's catalog.
+func (p *Policy) compatible(env *mdp.Env) error {
+	if p.Q == nil {
+		return fmt.Errorf("sarsa: nil Q table")
+	}
+	if p.Q.Size() != env.NumItems() {
+		return fmt.Errorf("sarsa: policy over %d items applied to catalog of %d (use transfer.Map)",
+			p.Q.Size(), env.NumItems())
+	}
+	return nil
+}
+
+// NextGuided returns the guided walk's next action for an in-progress
+// episode, skipping items for which exclude returns true (nil excludes
+// nothing). ok is false when no action remains — interactive sessions use
+// this to continue a partially human-chosen plan.
+func (p *Policy) NextGuided(env *mdp.Env, ep *mdp.Episode, exclude func(int) bool) (int, bool) {
+	if p.compatible(env) != nil || ep.Done() {
+		return -1, false
+	}
+	return p.nextAction(env, ep, true, exclude)
+}
+
+// guidedMask builds the split/budget pacing filter of the guided walk for
+// the episode's current position.
+func guidedMask(env *mdp.Env, ep *mdp.Episode) func(int) bool {
+	hard := env.Hard()
+	catalog := env.Catalog()
+	typeOK := func(int) bool { return true }
+	if hard.Length() == 0 {
+		return typeOK
+	}
+
+	// Split-awareness: when the remaining slots are exactly enough for the
+	// outstanding primary requirement, only primaries may fill them (extra
+	// primaries are fine — Case I of Theorem 1 — but a shortage is a hard
+	// violation).
+	var primaries int
+	for _, t := range ep.Types() {
+		if t == item.Primary {
+			primaries++
+		}
+	}
+	needPrimary := hard.Primary - primaries
+	left := hard.Length() - ep.Len()
+	if needPrimary > 0 && needPrimary >= left {
+		typeOK = func(a int) bool { return catalog.At(a).Type == item.Primary }
+	}
+
+	// Budget-awareness under a credit ceiling (trips): the time and
+	// distance budgets must be paced across the remaining slots — a
+	// 2.5-hour museum or a cross-town leg taken mid-plan leaves no room to
+	// reach the required length. A candidate must (a) stay within a
+	// slack-adjusted per-slot share of both budgets and (b) leave enough
+	// time for the cheapest completion.
+	if hard.CreditMode == constraints.MaxCredits && left > 1 {
+		inner := typeOK
+		remTime := hard.Credits - ep.Credits()
+		remDist := hard.MaxDistanceKm - ep.Distance()
+		last := catalog.At(ep.Last())
+		const slack = 1.6
+		typeOK = func(a int) bool {
+			if !inner(a) {
+				return false
+			}
+			m := catalog.At(a)
+			if m.Credits > slack*remTime/float64(left) {
+				return false
+			}
+			if hard.MaxDistanceKm > 0 {
+				leg := geo.Haversine(
+					geo.Point{Lat: last.Lat, Lon: last.Lon},
+					geo.Point{Lat: m.Lat, Lon: m.Lon})
+				if leg > slack*remDist/float64(left) {
+					return false
+				}
+			}
+			return cheapestCompletionFits(ep, catalog, hard, a, left-1)
+		}
+	}
+	return typeOK
+}
+
+// nextAction picks one action for the episode's current state.
+func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude func(int) bool) (int, bool) {
+	s := ep.Last()
+	allowed := func(a int) bool {
+		return ep.CanStep(a) && (exclude == nil || !exclude(a))
+	}
+
+	// argmax picks the highest-Q action under a mask, breaking Q ties by
+	// immediate Equation 2 reward and then by index. Tie-breaking matters:
+	// states the training episodes never reached have all-zero Q rows, and
+	// there the immediate reward is the only signal.
+	argmax := func(mask func(int) bool) (int, bool) {
+		ties := p.Q.ArgMaxTies(s, mask)
+		switch len(ties) {
+		case 0:
+			return -1, false
+		case 1:
+			return ties[0], true
+		}
+		best, bestR := ties[0], ep.Reward(ties[0])
+		for _, a := range ties[1:] {
+			if r := ep.Reward(a); r > bestR {
+				best, bestR = a, r
+			}
+		}
+		return best, true
+	}
+
+	if guided {
+		typeOK := guidedMask(env, ep)
+		// Tier 1: actions with an open θ gate (full Equation 2 validity).
+		// The learned policy prefers, like its training selection rule
+		// (Algorithm 1 lines 4 and 9), the actions with the maximal
+		// immediate reward, and uses the learned Q values to pick among
+		// them — Q supplies the lookahead that distinguishes RL-Planner
+		// from the purely myopic EDA baseline.
+		if e, ok := bestRewardThenQ(ep, p.Q, s, func(a int) bool {
+			return allowed(a) && typeOK(a)
+		}); ok {
+			return e, true
+		}
+		// Tier 2: actions that at least respect the hard gap rules (r2),
+		// even when the ε topic-gain gate is closed — topic coverage is a
+		// soft constraint, antecedent gaps are hard.
+		if e, ok := argmax(func(a int) bool {
+			if !allowed(a) || !typeOK(a) {
+				return false
+			}
+			tr := ep.Transition(a)
+			return tr.PrereqOK && tr.ThemeOK
+		}); ok {
+			return e, true
+		}
+		// Tier 3: at least respect the split/budget pacing.
+		if e, ok := argmax(func(a int) bool {
+			return allowed(a) && typeOK(a)
+		}); ok {
+			return e, true
+		}
+	}
+	return argmax(allowed)
+}
+
+// Ranked is one candidate action with the guided walk's ranking facts.
+type Ranked struct {
+	// Item is the catalog index.
+	Item int
+	// Tier is the guided tier that admits the action: 1 = fully valid
+	// (θ open), 2 = hard rules hold but the ε gate is closed, 3 = only
+	// the pacing filter holds, 4 = merely steppable.
+	Tier int
+	// Reward is the immediate Equation 2 reward.
+	Reward float64
+	// Q is the learned action value from the current state.
+	Q float64
+}
+
+// RankActions returns up to k candidate next actions in the guided walk's
+// preference order (tier, then reward, then Q, then index) — the
+// suggestion list of an interactive session.
+func (p *Policy) RankActions(env *mdp.Env, ep *mdp.Episode, k int, exclude func(int) bool) []Ranked {
+	if p.compatible(env) != nil || ep.Done() || k <= 0 {
+		return nil
+	}
+	s := ep.Last()
+	typeOK := guidedMask(env, ep)
+	var out []Ranked
+	for a := 0; a < env.NumItems(); a++ {
+		if !ep.CanStep(a) || (exclude != nil && exclude(a)) {
+			continue
+		}
+		r := ep.Reward(a)
+		tr := ep.Transition(a)
+		tier := 4
+		switch {
+		case typeOK(a) && r > 0:
+			tier = 1
+		case typeOK(a) && tr.PrereqOK && tr.ThemeOK:
+			tier = 2
+		case typeOK(a):
+			tier = 3
+		}
+		out = append(out, Ranked{Item: a, Tier: tier, Reward: r, Q: p.Q.Get(s, a)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tier != out[j].Tier {
+			return out[i].Tier < out[j].Tier
+		}
+		if out[i].Reward != out[j].Reward {
+			return out[i].Reward > out[j].Reward
+		}
+		if out[i].Q != out[j].Q {
+			return out[i].Q > out[j].Q
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

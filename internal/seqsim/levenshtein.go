@@ -1,0 +1,78 @@
+package seqsim
+
+import "github.com/rlplanner/rlplanner/internal/item"
+
+// Levenshtein returns the classic edit distance between two type
+// sequences (insertions, deletions and substitutions all cost 1). The
+// paper's similarity (Eq. 6) is "inspired by Levenshtein distance" but is
+// not the edit distance itself; this reference implementation backs the
+// LevenshteinSim ablation variant and the property tests that relate the
+// two notions.
+func Levenshtein(a, b []item.Type) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Single-row dynamic program.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim scores a sequence against one permutation as
+// k·(1 − dist/k) = k − dist, where dist is the edit distance against the
+// permutation's first k positions — an ablation alternative to Eq. 6 on
+// the same [0, k] scale (k = full match, 0 = everything edited).
+func LevenshteinSim(seq, ideal []item.Type) float64 {
+	k := len(seq)
+	if k == 0 {
+		return 0
+	}
+	prefix := ideal
+	if len(prefix) > k {
+		prefix = prefix[:k]
+	}
+	d := Levenshtein(seq, prefix)
+	if d > k {
+		d = k
+	}
+	return float64(k - d)
+}
+
+// AvgLevenshteinSim averages LevenshteinSim over a template.
+func AvgLevenshteinSim(seq []item.Type, it [][]item.Type) float64 {
+	if len(it) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ideal := range it {
+		sum += LevenshteinSim(seq, ideal)
+	}
+	return sum / float64(len(it))
+}

@@ -1,0 +1,123 @@
+package seqsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rlplanner/rlplanner/internal/item"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b []item.Type
+		want int
+	}{
+		{nil, nil, 0},
+		{[]item.Type{p}, nil, 1},
+		{nil, []item.Type{p, s}, 2},
+		{[]item.Type{p, s}, []item.Type{p, s}, 0},
+		{[]item.Type{p, s}, []item.Type{s, p}, 2},
+		{[]item.Type{p, p, s}, []item.Type{p, s}, 1},
+		{[]item.Type{p, s, p, s}, []item.Type{s, p, s, p}, 2},
+	}
+	for i, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: Levenshtein = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randTypes(rr, 1+rr.Intn(10)), randTypes(rr, 1+rr.Intn(10))
+		d := Levenshtein(a, b)
+		// Symmetry, identity, bounds.
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		if Levenshtein(a, a) != 0 {
+			return false
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randTypes(rr, 1+rr.Intn(8))
+		b := randTypes(rr, 1+rr.Intn(8))
+		c := randTypes(rr, 1+rr.Intn(8))
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinSimScale(t *testing.T) {
+	ideal := []item.Type{p, s, s, p}
+	// Perfect match scores k.
+	if got := LevenshteinSim(ideal, ideal); got != 4 {
+		t.Fatalf("perfect LevenshteinSim = %v", got)
+	}
+	// Empty sequence scores 0.
+	if LevenshteinSim(nil, ideal) != 0 {
+		t.Fatal("empty sequence should score 0")
+	}
+	// A fully-mismatched same-length sequence of inverted types costs at
+	// most k, so the score floors at 0.
+	inv := []item.Type{s, p, p, s}
+	if got := LevenshteinSim(inv, ideal); got < 0 || got > 4 {
+		t.Fatalf("inverted LevenshteinSim = %v", got)
+	}
+}
+
+func TestLevenshteinSimRelatesToEq6(t *testing.T) {
+	// Both notions award the maximum k to a perfect full-length match.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		k := 1 + rr.Intn(10)
+		ideal := randTypes(rr, k)
+		return LevenshteinSim(ideal, ideal) == Sim(ideal, ideal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgLevenshteinSim(t *testing.T) {
+	it := [][]item.Type{{p, s}, {s, p}}
+	seq := []item.Type{p, s}
+	// dist to [p,s] = 0 → 2; dist to [s,p] = 2 → 0; avg = 1.
+	if got := AvgLevenshteinSim(seq, it); got != 1 {
+		t.Fatalf("AvgLevenshteinSim = %v, want 1", got)
+	}
+	if AvgLevenshteinSim(seq, nil) != 0 {
+		t.Fatal("empty template should score 0")
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	r := rand.New(rand.NewSource(22))
+	x, y := randTypes(r, 15), randTypes(r, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Levenshtein(x, y)
+	}
+}

@@ -1,0 +1,157 @@
+// Package seqsim implements the Levenshtein-inspired interleaving
+// similarity of §III-B.4. Given the primary/secondary type sequence of a
+// partial plan of length k and an ideal permutation I from the template IT:
+//
+//   - the match vector c has c[j] = 1 iff the j-th chosen type equals I[j];
+//   - ζ is the maximum length of a consecutive run of matches in c;
+//   - Sim(s, I)^k = ζ · Σ_j c[j] / k                           (Equation 6)
+//   - AvgSim(s, IT)^k = Σ_{I∈IT} Sim(s, I)^k / |IT|            (Equation 7)
+//
+// The paper's worked example: a session {primary, secondary, primary,
+// primary} against the Example 1 template yields match vectors
+// {[1,0,0,1], [1,1,0,0], [1,1,0,1]}, Sim values {0.5, 1, 1.5} and
+// AvgSim = 1. TestPaperWorkedExample pins these numbers.
+//
+// The paper also evaluates a variant using the minimum similarity over the
+// template instead of the average (§III-B, §IV-A4); MinSim provides it.
+package seqsim
+
+import (
+	"fmt"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/item"
+)
+
+// Mode selects how per-permutation similarities aggregate over IT.
+type Mode uint8
+
+const (
+	// Average aggregates with AvgSim (Equation 7), the paper's default.
+	Average Mode = iota
+	// Minimum aggregates with the minimum over IT, the paper's variant.
+	Minimum
+	// LevenshteinAverage replaces Eq. 6 with the true edit-distance
+	// similarity, averaged over IT — an ablation of the "inspired by
+	// Levenshtein" design (see LevenshteinSim).
+	LevenshteinAverage
+)
+
+// String returns "avg", "min" or "lev".
+func (m Mode) String() string {
+	switch m {
+	case Average:
+		return "avg"
+	case Minimum:
+		return "min"
+	case LevenshteinAverage:
+		return "lev"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// MatchVector returns c_I: a 0/1 vector over the first k = len(seq)
+// positions where bit j reports whether seq[j] matches ideal[j].
+// If the sequence is longer than the permutation, extra positions count as
+// mismatches.
+func MatchVector(seq, ideal []item.Type) []bool {
+	c := make([]bool, len(seq))
+	for j := range seq {
+		c[j] = j < len(ideal) && seq[j] == ideal[j]
+	}
+	return c
+}
+
+// Zeta returns ζ: the maximum length of a consecutive run of matches.
+func Zeta(c []bool) int {
+	best, run := 0, 0
+	for _, m := range c {
+		if m {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return best
+}
+
+// Matches returns Σ_j c[j], the total number of matching positions.
+func Matches(c []bool) int {
+	n := 0
+	for _, m := range c {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// Sim computes Sim(s, I)^k (Equation 6) for a sequence of item types
+// against one ideal permutation. It returns 0 for an empty sequence.
+// The value ranges over [0, k]; a full-length perfect match scores k.
+func Sim(seq, ideal []item.Type) float64 {
+	k := len(seq)
+	if k == 0 {
+		return 0
+	}
+	c := MatchVector(seq, ideal)
+	return float64(Zeta(c)) * float64(Matches(c)) / float64(k)
+}
+
+// AvgSim computes AvgSim(s, IT)^k (Equation 7): the mean of Sim over every
+// permutation in the template. An empty template scores 0.
+func AvgSim(seq []item.Type, it constraints.Template) float64 {
+	if len(it) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ideal := range it {
+		sum += Sim(seq, ideal)
+	}
+	return sum / float64(len(it))
+}
+
+// MinSim is the minimum-similarity variant: min over IT of Sim(s, I)^k.
+func MinSim(seq []item.Type, it constraints.Template) float64 {
+	if len(it) == 0 {
+		return 0
+	}
+	best := Sim(seq, it[0])
+	for _, ideal := range it[1:] {
+		if s := Sim(seq, ideal); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// MaxSim is the best-permutation similarity: max over IT of Sim(s, I)^k.
+// The experimental section scores a finished recommendation by computing
+// Equation 6 per ideal composition and keeping the highest value (§IV-A);
+// MaxSim is that scoring rule.
+func MaxSim(seq []item.Type, it constraints.Template) float64 {
+	var best float64
+	for _, ideal := range it {
+		if s := Sim(seq, ideal); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Aggregate applies the mode: AvgSim for Average, MinSim for Minimum and
+// the edit-distance average for LevenshteinAverage.
+func Aggregate(mode Mode, seq []item.Type, it constraints.Template) float64 {
+	switch mode {
+	case Minimum:
+		return MinSim(seq, it)
+	case LevenshteinAverage:
+		return AvgLevenshteinSim(seq, it)
+	default:
+		return AvgSim(seq, it)
+	}
+}

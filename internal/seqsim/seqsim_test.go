@@ -1,0 +1,232 @@
+package seqsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/item"
+)
+
+const (
+	p = item.Primary
+	s = item.Secondary
+)
+
+// example1Template is the Example 1 IT (3 primary, 3 secondary).
+func example1Template() constraints.Template {
+	return constraints.Template{
+		{p, p, s, p, s, s},
+		{p, s, s, s, p, p},
+		{p, s, s, p, p, s},
+	}
+}
+
+func TestPaperWorkedExample(t *testing.T) {
+	// §III-B.4: sequence {primary, secondary, primary, primary} against the
+	// Example 1 template gives match vectors {[1,0,0,1],[1,1,0,0],[1,1,0,1]},
+	// Sim = {0.5, 1, 1.5}, AvgSim = 1.
+	seq := []item.Type{p, s, p, p}
+	it := example1Template()
+
+	wantVectors := [][]bool{
+		{true, false, false, true},
+		{true, true, false, false},
+		{true, true, false, true},
+	}
+	wantSims := []float64{0.5, 1, 1.5}
+	for i, ideal := range it {
+		c := MatchVector(seq, ideal)
+		for j := range c {
+			if c[j] != wantVectors[i][j] {
+				t.Fatalf("permutation %d match vector = %v, want %v", i, c, wantVectors[i])
+			}
+		}
+		if got := Sim(seq, ideal); math.Abs(got-wantSims[i]) > 1e-12 {
+			t.Fatalf("Sim(seq, I%d) = %v, want %v", i+1, got, wantSims[i])
+		}
+	}
+	if got := AvgSim(seq, it); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("AvgSim = %v, want 1", got)
+	}
+	if got := MinSim(seq, it); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MinSim = %v, want 0.5", got)
+	}
+	if got := MaxSim(seq, it); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("MaxSim = %v, want 1.5", got)
+	}
+}
+
+func TestZeta(t *testing.T) {
+	cases := []struct {
+		c    []bool
+		want int
+	}{
+		{nil, 0},
+		{[]bool{false, false}, 0},
+		{[]bool{true}, 1},
+		{[]bool{true, false, true, true}, 2},
+		{[]bool{true, true, true}, 3},
+		{[]bool{false, true, true, false, true}, 2},
+	}
+	for _, tc := range cases {
+		if got := Zeta(tc.c); got != tc.want {
+			t.Errorf("Zeta(%v) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestPerfectMatchScoresK(t *testing.T) {
+	// A full-length perfect match scores k — the basis for the gold
+	// standard scores of 10 (Univ-1) and 15 (Univ-2).
+	ideal := []item.Type{p, s, s, s, p, p}
+	if got := Sim(ideal, ideal); got != 6 {
+		t.Fatalf("perfect Sim = %v, want 6", got)
+	}
+}
+
+func TestFullySatisfiedPaperSequence(t *testing.T) {
+	// §II-B.1: m1→m2→m4→m5→m6→m3 = [P,S,S,S,P,P] fully satisfies I2.
+	seq := []item.Type{p, s, s, s, p, p}
+	it := example1Template()
+	if got := Sim(seq, it[1]); got != 6 {
+		t.Fatalf("Sim against I2 = %v, want 6", got)
+	}
+	if got := MaxSim(seq, it); got != 6 {
+		t.Fatalf("MaxSim = %v, want 6", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	it := example1Template()
+	if Sim(nil, it[0]) != 0 {
+		t.Fatal("empty sequence Sim != 0")
+	}
+	if AvgSim([]item.Type{p}, nil) != 0 {
+		t.Fatal("empty template AvgSim != 0")
+	}
+	if MinSim([]item.Type{p}, nil) != 0 {
+		t.Fatal("empty template MinSim != 0")
+	}
+	if MaxSim([]item.Type{p}, nil) != 0 {
+		t.Fatal("empty template MaxSim != 0")
+	}
+}
+
+func TestSequenceLongerThanPermutation(t *testing.T) {
+	// Positions beyond the permutation count as mismatches, not panics.
+	seq := []item.Type{p, p, p}
+	ideal := []item.Type{p}
+	c := MatchVector(seq, ideal)
+	if !c[0] || c[1] || c[2] {
+		t.Fatalf("match vector = %v", c)
+	}
+	if got := Sim(seq, ideal); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("Sim = %v, want 1/3", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	seq := []item.Type{p, s, p, p}
+	it := example1Template()
+	if Aggregate(Average, seq, it) != AvgSim(seq, it) {
+		t.Fatal("Aggregate(Average) mismatch")
+	}
+	if Aggregate(Minimum, seq, it) != MinSim(seq, it) {
+		t.Fatal("Aggregate(Minimum) mismatch")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Average.String() != "avg" || Minimum.String() != "min" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func randTypes(r *rand.Rand, n int) []item.Type {
+	out := make([]item.Type, n)
+	for i := range out {
+		if r.Intn(2) == 1 {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+func TestPropertySimBounds(t *testing.T) {
+	// 0 ≤ Sim ≤ k, and min ≤ avg ≤ max over a template.
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		k := 1 + int(uint(seed)%12)
+		seq := randTypes(r, k)
+		it := constraints.Template{randTypes(r, k), randTypes(r, k), randTypes(r, k)}
+		for _, ideal := range it {
+			v := Sim(seq, ideal)
+			if v < 0 || v > float64(k) {
+				return false
+			}
+		}
+		mn, av, mx := MinSim(seq, it), AvgSim(seq, it), MaxSim(seq, it)
+		return mn <= av+1e-12 && av <= mx+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySimEqualsBruteForce(t *testing.T) {
+	// Sim must equal ζ·matches/k computed naively.
+	r := rand.New(rand.NewSource(43))
+	f := func(seed int64) bool {
+		k := 1 + int(uint(seed)%10)
+		seq, ideal := randTypes(r, k), randTypes(r, k)
+		matches, run, zeta := 0, 0, 0
+		for j := 0; j < k; j++ {
+			if seq[j] == ideal[j] {
+				matches++
+				run++
+				if run > zeta {
+					zeta = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		want := float64(zeta) * float64(matches) / float64(k)
+		return math.Abs(Sim(seq, ideal)-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPrefixMonotoneUnderPerfectMatch(t *testing.T) {
+	// For a sequence identical to the permutation, Sim of every prefix of
+	// length k equals k (ζ = k, matches = k).
+	r := rand.New(rand.NewSource(44))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%10)
+		ideal := randTypes(r, n)
+		for k := 1; k <= n; k++ {
+			if math.Abs(Sim(ideal[:k], ideal)-float64(k)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAvgSim(b *testing.B) {
+	r := rand.New(rand.NewSource(45))
+	seq := randTypes(r, 10)
+	it := constraints.Template{randTypes(r, 10), randTypes(r, 10), randTypes(r, 10)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = AvgSim(seq, it)
+	}
+}

@@ -1,0 +1,141 @@
+// Package session implements interactive plan construction (§IV-F: the
+// learned policy recommends fast enough "to make interactive
+// recommendations", and the paper's lineage includes interactive itinerary
+// planning). A Session alternates between the planner and a human: the
+// planner ranks the next candidates, the human accepts one, rejects some,
+// or lets the planner auto-complete the rest of the plan.
+package session
+
+import (
+	"fmt"
+
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+)
+
+// Suggestion is one proposed next item.
+type Suggestion struct {
+	// Index is the catalog index; ID the item id.
+	Index int
+	ID    string
+	// Tier is the guided-walk tier (1 = fully valid … 4 = merely
+	// steppable); Reward and Q are the ranking facts.
+	Tier   int
+	Reward float64
+	Q      float64
+}
+
+// Session is one interactive planning dialogue.
+type Session struct {
+	env      *mdp.Env
+	policy   *sarsa.Policy
+	ep       *mdp.Episode
+	rejected map[int]bool
+	k        int
+}
+
+// New starts a session at the given item with k suggestions per round.
+func New(env *mdp.Env, policy *sarsa.Policy, start, k int) (*Session, error) {
+	if policy == nil || policy.Q == nil {
+		return nil, fmt.Errorf("session: nil policy")
+	}
+	if policy.Q.Size() != env.NumItems() {
+		return nil, fmt.Errorf("session: policy size %d vs catalog %d", policy.Q.Size(), env.NumItems())
+	}
+	if k <= 0 {
+		k = 3
+	}
+	ep, err := env.Start(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		env:      env,
+		policy:   policy,
+		ep:       ep,
+		rejected: make(map[int]bool),
+		k:        k,
+	}, nil
+}
+
+// Plan returns the items chosen so far.
+func (s *Session) Plan() []int { return s.ep.Sequence() }
+
+// PlanIDs returns the chosen item ids.
+func (s *Session) PlanIDs() []string {
+	return s.env.Catalog().SequenceIDs(s.ep.Sequence())
+}
+
+// Done reports whether the trajectory budget is exhausted.
+func (s *Session) Done() bool { return s.ep.Done() }
+
+// Credits returns the credits/hours spent so far.
+func (s *Session) Credits() float64 { return s.ep.Credits() }
+
+// Rejected returns the ids the user has vetoed.
+func (s *Session) Rejected() []string {
+	var out []string
+	for idx := range s.rejected {
+		out = append(out, s.env.Catalog().At(idx).ID)
+	}
+	return out
+}
+
+// exclude is the rejection mask.
+func (s *Session) exclude(a int) bool { return s.rejected[a] }
+
+// Suggestions ranks the next candidates: the guided walk's preference
+// order, skipping rejected items.
+func (s *Session) Suggestions() []Suggestion {
+	ranked := s.policy.RankActions(s.env, s.ep, s.k, s.exclude)
+	out := make([]Suggestion, len(ranked))
+	for i, r := range ranked {
+		out[i] = Suggestion{
+			Index:  r.Item,
+			ID:     s.env.Catalog().At(r.Item).ID,
+			Tier:   r.Tier,
+			Reward: r.Reward,
+			Q:      r.Q,
+		}
+	}
+	return out
+}
+
+// Accept adds the item to the plan.
+func (s *Session) Accept(id string) error {
+	idx, ok := s.env.Catalog().Index(id)
+	if !ok {
+		return fmt.Errorf("session: unknown item %q", id)
+	}
+	if s.ep.Done() {
+		return fmt.Errorf("session: plan is complete")
+	}
+	if !s.ep.CanStep(idx) {
+		return fmt.Errorf("session: %q cannot be added (already chosen or over budget)", id)
+	}
+	s.ep.Step(idx)
+	return nil
+}
+
+// Reject vetoes an item for the remainder of the session.
+func (s *Session) Reject(id string) error {
+	idx, ok := s.env.Catalog().Index(id)
+	if !ok {
+		return fmt.Errorf("session: unknown item %q", id)
+	}
+	s.rejected[idx] = true
+	return nil
+}
+
+// AutoComplete lets the planner finish the plan with the guided walk,
+// honoring every rejection, and returns the full sequence.
+func (s *Session) AutoComplete() []int {
+	for !s.ep.Done() {
+		e, ok := s.policy.NextGuided(s.env, s.ep, s.exclude)
+		if !ok {
+			break
+		}
+		s.ep.Step(e)
+	}
+	return s.Plan()
+}

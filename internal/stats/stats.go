@@ -1,0 +1,177 @@
+// Package stats provides the small statistical and presentation helpers
+// the experiment harness needs: aggregates over repeated runs and
+// fixed-width text tables matching the paper's tabular reporting.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation; 0 for fewer than two
+// values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum; 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// F2 formats a float with two decimals, the paper's table precision.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Header names the columns.
+	Header []string
+	rows   [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RollingMean returns the w-window moving average of xs (length
+// len(xs)-w+1); nil when xs is shorter than the window.
+func RollingMean(xs []float64, w int) []float64 {
+	if w <= 0 || len(xs) < w {
+		return nil
+	}
+	out := make([]float64, 0, len(xs)-w+1)
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= w {
+			sum -= xs[i-w]
+		}
+		if i >= w-1 {
+			out = append(out, sum/float64(w))
+		}
+	}
+	return out
+}
+
+// ConvergedAt returns the first episode index from which the w-window
+// moving average of a learning curve stays within tol of its final value,
+// or -1 when the curve never settles. It quantifies the "converges faster"
+// comparison between learners.
+func ConvergedAt(returns []float64, w int, tol float64) int {
+	means := RollingMean(returns, w)
+	if len(means) == 0 {
+		return -1
+	}
+	final := means[len(means)-1]
+	for i, m := range means {
+		ok := true
+		for _, later := range means[i:] {
+			if math.Abs(later-final) > tol {
+				ok = false
+				break
+			}
+			_ = later
+		}
+		if ok {
+			_ = m
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of singleton != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max != 0")
+	}
+}
+
+func TestF2(t *testing.T) {
+	if F2(3.14159) != "3.14" {
+		t.Fatalf("F2 = %s", F2(3.14159))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Fig 1", Header: []string{"Program", "RL", "Gold"}}
+	tb.AddRow("DS-CT", "7.90", "10.00")
+	tb.AddRow("CS") // short row padded
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 1", "Program", "DS-CT", "7.90", "10.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRollingMean(t *testing.T) {
+	got := RollingMean([]float64{1, 2, 3, 4}, 2)
+	want := []float64{1.5, 2.5, 3.5}
+	if len(got) != len(want) {
+		t.Fatalf("RollingMean = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("RollingMean = %v, want %v", got, want)
+		}
+	}
+	if RollingMean([]float64{1}, 2) != nil {
+		t.Fatal("short input should yield nil")
+	}
+	if RollingMean(nil, 0) != nil {
+		t.Fatal("zero window should yield nil")
+	}
+}
+
+func TestConvergedAt(t *testing.T) {
+	// A curve that ramps for 5 points then flatlines converges at the
+	// flatline.
+	curve := []float64{0, 1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5}
+	at := ConvergedAt(curve, 3, 0.1)
+	if at < 3 || at > 6 {
+		t.Fatalf("ConvergedAt = %d", at)
+	}
+	// An oscillating curve (window 1 = no smoothing) only "converges" at
+	// its very last point.
+	osc := []float64{0, 10, 0, 10, 0, 10, 0, 10}
+	if at := ConvergedAt(osc, 1, 0.5); at != len(osc)-1 {
+		t.Fatalf("oscillating ConvergedAt = %d, want %d", at, len(osc)-1)
+	}
+	// A window that spans a full oscillation period smooths it flat.
+	if at := ConvergedAt(osc, 2, 0.5); at != 0 {
+		t.Fatalf("smoothed oscillation ConvergedAt = %d, want 0", at)
+	}
+	if ConvergedAt(nil, 3, 0.1) != -1 {
+		t.Fatal("empty curve should not converge")
+	}
+}
+
+func TestConvergedAtMonotoneTolerance(t *testing.T) {
+	curve := []float64{0, 2, 4, 6, 7, 7.5, 7.8, 8, 8, 8, 8, 8}
+	loose := ConvergedAt(curve, 3, 1.0)
+	tight := ConvergedAt(curve, 3, 0.1)
+	if loose == -1 || tight == -1 {
+		t.Fatalf("curve should converge: loose=%d tight=%d", loose, tight)
+	}
+	if loose > tight {
+		t.Fatalf("looser tolerance converged later: %d > %d", loose, tight)
+	}
+}

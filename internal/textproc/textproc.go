@@ -1,0 +1,97 @@
+// Package textproc reproduces the paper's topic-vector construction
+// pipeline (§IV-A1): "to form topic vectors, we extract nouns from course
+// names and removed stopwords". Without a POS tagger available offline,
+// noun extraction follows the heuristic the paper's artifacts imply:
+// tokenize the title, drop stopwords and pure numbers/codes, and keep the
+// remaining content words (course titles are overwhelmingly noun phrases,
+// so content-word extraction and noun extraction coincide in practice).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stopword list covering the function words
+// that occur in course titles and POI descriptions.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "de": true, "des": true, "du": true, "for": true,
+	"from": true, "in": true, "into": true, "is": true, "it": true,
+	"its": true, "la": true, "le": true, "of": true, "on": true, "or": true,
+	"st": true, "the": true, "their": true, "to": true, "und": true,
+	"using": true, "via": true, "with": true, "without": true,
+	"i": true, "ii": true, "iii": true, "iv": true,
+	// Title framing words that carry no topical content.
+	"introduction": true, "intro": true, "advanced": true, "topics": true,
+	"special": true, "selected": true, "seminar": true, "fundamentals": true,
+	"principles": true, "foundations": true, "applied": true,
+}
+
+// Tokenize splits text into lowercase word tokens, treating any
+// non-letter/non-digit rune as a separator.
+func Tokenize(text string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// IsStopword reports whether the (lowercase) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// isNumeric reports whether a token is all digits (course numbers, years).
+func isNumeric(tok string) bool {
+	for _, r := range tok {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+// ExtractTopics returns the topical content words of a title: tokens that
+// survive stopword removal, numeric filtering and a minimum length of two
+// runes, de-duplicated in first-occurrence order.
+func ExtractTopics(title string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, tok := range Tokenize(title) {
+		if len([]rune(tok)) < 2 || isNumeric(tok) || stopwords[tok] || seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	return out
+}
+
+// BuildVocabulary extracts topics from every title and returns the
+// distinct topics in first-occurrence order — the per-program topic sets
+// whose sizes §IV-A1 reports (60, 61, 100, 73 …).
+func BuildVocabulary(titles []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, title := range titles {
+		for _, topic := range ExtractTopics(title) {
+			if !seen[topic] {
+				seen[topic] = true
+				out = append(out, topic)
+			}
+		}
+	}
+	return out
+}

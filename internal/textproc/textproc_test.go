@@ -1,0 +1,79 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Data Structures & Algorithms (CS-610)")
+	want := []string{"data", "structures", "algorithms", "cs", "610"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if Tokenize("") != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Musée d'Orsay")
+	want := []string{"musée", "d", "orsay"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestExtractTopics(t *testing.T) {
+	got := ExtractTopics("Introduction to Big Data")
+	want := []string{"big", "data"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractTopics = %v, want %v", got, want)
+	}
+}
+
+func TestExtractTopicsDropsCodesAndDuplicates(t *testing.T) {
+	got := ExtractTopics("CS 675 Machine Learning and Machine Intelligence")
+	want := []string{"cs", "machine", "learning", "intelligence"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractTopics = %v, want %v", got, want)
+	}
+}
+
+func TestExtractTopicsStopwords(t *testing.T) {
+	got := ExtractTopics("Advanced Topics in the Design of Algorithms")
+	want := []string{"design", "algorithms"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractTopics = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("algorithms") {
+		t.Fatal("IsStopword misclassifies")
+	}
+}
+
+func TestBuildVocabulary(t *testing.T) {
+	titles := []string{
+		"Data Mining",
+		"Data Analytics with R Programming",
+		"Machine Learning",
+	}
+	got := BuildVocabulary(titles)
+	want := []string{"data", "mining", "analytics", "programming", "machine", "learning"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BuildVocabulary = %v, want %v", got, want)
+	}
+}
+
+func TestBuildVocabularyDistinct(t *testing.T) {
+	got := BuildVocabulary([]string{"Data Mining", "Data Management"})
+	count := map[string]int{}
+	for _, w := range got {
+		count[w]++
+		if count[w] > 1 {
+			t.Fatalf("duplicate topic %q in %v", w, got)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package topics maps human-readable topic/theme names (the set T in the
+// paper) to dense indices and wraps bit-vector coverage vectors (T^m) with
+// name-aware helpers. A Vocabulary is immutable once built so it can be
+// shared freely across goroutines.
+package topics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rlplanner/rlplanner/internal/bitset"
+)
+
+// Vocabulary is an immutable, ordered set of topic names.
+type Vocabulary struct {
+	names []string
+	index map[string]int
+}
+
+// NewVocabulary builds a vocabulary from names, preserving order.
+// Duplicate or empty names are an error: topic identity must be unambiguous
+// because T^ideal and T^m vectors index into the same vocabulary.
+func NewVocabulary(names []string) (*Vocabulary, error) {
+	v := &Vocabulary{
+		names: make([]string, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("topics: empty name at position %d", i)
+		}
+		if _, dup := v.index[n]; dup {
+			return nil, fmt.Errorf("topics: duplicate name %q", n)
+		}
+		v.names[i] = n
+		v.index[n] = i
+	}
+	return v, nil
+}
+
+// MustVocabulary is NewVocabulary that panics on error, for fixed literals.
+func MustVocabulary(names ...string) *Vocabulary {
+	v, err := NewVocabulary(names)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the number of topics.
+func (v *Vocabulary) Len() int { return len(v.names) }
+
+// Name returns the topic name at index i.
+func (v *Vocabulary) Name(i int) string { return v.names[i] }
+
+// Names returns a copy of all topic names in index order.
+func (v *Vocabulary) Names() []string {
+	out := make([]string, len(v.names))
+	copy(out, v.names)
+	return out
+}
+
+// Index returns the index of name and whether it exists.
+func (v *Vocabulary) Index(name string) (int, bool) {
+	i, ok := v.index[name]
+	return i, ok
+}
+
+// Vector builds a coverage vector with the named topics set.
+// Unknown names are an error.
+func (v *Vocabulary) Vector(names ...string) (bitset.Set, error) {
+	s := bitset.New(v.Len())
+	for _, n := range names {
+		i, ok := v.index[n]
+		if !ok {
+			return bitset.Set{}, fmt.Errorf("topics: unknown topic %q", n)
+		}
+		s.Set(i)
+	}
+	return s, nil
+}
+
+// MustVector is Vector that panics on unknown names, for fixed literals.
+func (v *Vocabulary) MustVector(names ...string) bitset.Set {
+	s, err := v.Vector(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Decode returns the names of the topics set in s, in index order.
+func (v *Vocabulary) Decode(s bitset.Set) []string {
+	if s.Len() != v.Len() {
+		panic(fmt.Sprintf("topics: vector length %d does not match vocabulary %d", s.Len(), v.Len()))
+	}
+	idx := s.Indices()
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = v.names[j]
+	}
+	return out
+}
+
+// CoverageRatio returns |covered ∩ ideal| / |ideal|, the fraction of the
+// user's ideal topics a plan covers; 1 when ideal is empty.
+func CoverageRatio(covered, ideal bitset.Set) float64 {
+	want := ideal.Count()
+	if want == 0 {
+		return 1
+	}
+	return float64(covered.IntersectCount(ideal)) / float64(want)
+}
+
+// Sorted returns topic names in lexical order (useful for stable output).
+func (v *Vocabulary) Sorted() []string {
+	out := v.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package topics
+
+import (
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/bitset"
+)
+
+// paperTopics is the 13-topic vocabulary of Table II.
+func paperTopics() *Vocabulary {
+	return MustVocabulary(
+		"Algorithms", "Classification", "Clustering", "Statistics",
+		"Regression", "Data Structure", "Neural Network", "Probability",
+		"Data Visualization", "Linear System", "Matrix Decomposition",
+		"Data Management", "Data Transfer",
+	)
+}
+
+func TestVocabularyBasics(t *testing.T) {
+	v := paperTopics()
+	if v.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", v.Len())
+	}
+	i, ok := v.Index("Clustering")
+	if !ok || i != 2 {
+		t.Fatalf("Index(Clustering) = %d,%v", i, ok)
+	}
+	if v.Name(2) != "Clustering" {
+		t.Fatalf("Name(2) = %q", v.Name(2))
+	}
+	if _, ok := v.Index("Quantum"); ok {
+		t.Fatal("unknown topic found")
+	}
+}
+
+func TestNewVocabularyRejectsDuplicates(t *testing.T) {
+	if _, err := NewVocabulary([]string{"A", "A"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := NewVocabulary([]string{"A", " "}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestVectorMatchesPaperDataMining(t *testing.T) {
+	// T^m2 for Data Mining = [0,1,1,0,0,0,0,0,0,0,0,0,0].
+	v := paperTopics()
+	got := v.MustVector("Classification", "Clustering")
+	want := bitset.FromIndices(13, 1, 2)
+	if !got.Equal(want) {
+		t.Fatalf("vector = %s, want %s", got, want)
+	}
+}
+
+func TestVectorUnknownTopic(t *testing.T) {
+	v := paperTopics()
+	if _, err := v.Vector("Nope"); err == nil {
+		t.Fatal("unknown topic accepted")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	v := paperTopics()
+	s := v.MustVector("Algorithms", "Data Structure")
+	names := v.Decode(s)
+	if len(names) != 2 || names[0] != "Algorithms" || names[1] != "Data Structure" {
+		t.Fatalf("Decode = %v", names)
+	}
+}
+
+func TestDecodeLengthMismatchPanics(t *testing.T) {
+	v := paperTopics()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched length")
+		}
+	}()
+	v.Decode(bitset.New(5))
+}
+
+func TestCoverageRatio(t *testing.T) {
+	v := paperTopics()
+	ideal := v.MustVector("Classification", "Clustering", "Neural Network", "Linear System")
+	covered := v.MustVector("Classification", "Clustering", "Statistics")
+	if got := CoverageRatio(covered, ideal); got != 0.5 {
+		t.Fatalf("CoverageRatio = %v, want 0.5", got)
+	}
+	if got := CoverageRatio(covered, bitset.New(13)); got != 1 {
+		t.Fatalf("empty ideal ratio = %v, want 1", got)
+	}
+}
+
+func TestNamesAndSortedAreCopies(t *testing.T) {
+	v := paperTopics()
+	n := v.Names()
+	n[0] = "mutated"
+	if v.Name(0) == "mutated" {
+		t.Fatal("Names leaked internal slice")
+	}
+	s := v.Sorted()
+	if s[0] != "Algorithms" {
+		t.Fatalf("Sorted[0] = %q", s[0])
+	}
+}

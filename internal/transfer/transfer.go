@@ -1,0 +1,114 @@
+// Package transfer implements the policy-transfer case study of §IV-D:
+// applying a Q policy learned on one catalog (M.S. CS, NYC) to another
+// (M.S. DS-CT, Paris). The Q table is re-indexed through an item mapping:
+//
+//   - items sharing an id map directly (the Univ-1 programs overlap in
+//     courses such as CS 675 and CS 652, with possibly different
+//     core/elective roles — exactly the situation of Table V);
+//   - otherwise an item maps to the source item with the most similar
+//     topic profile, compared by Jaccard similarity over topic *names*
+//     (the vocabularies differ across catalogs, names are the common
+//     currency — a Paris museum maps to a NYC museum);
+//   - items with no overlap at all stay unmapped and contribute zero Q.
+package transfer
+
+import (
+	"fmt"
+
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/qtable"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+)
+
+// Mapping reports how target items were matched to source items.
+type Mapping struct {
+	// DstToSrc maps each target index to a source index, or -1.
+	DstToSrc []int
+	// ByID counts exact id matches.
+	ByID int
+	// ByTopic counts topic-similarity matches.
+	ByTopic int
+	// Unmatched counts target items with no source counterpart.
+	Unmatched int
+}
+
+// Map re-indexes a source policy onto a target catalog and returns the
+// transferred policy plus the mapping diagnostics.
+func Map(src *sarsa.Policy, srcCat, dstCat *item.Catalog) (*sarsa.Policy, *Mapping, error) {
+	if src == nil || src.Q == nil {
+		return nil, nil, fmt.Errorf("transfer: nil source policy")
+	}
+	if src.Q.Size() != srcCat.Len() {
+		return nil, nil, fmt.Errorf("transfer: policy size %d vs source catalog %d",
+			src.Q.Size(), srcCat.Len())
+	}
+
+	srcTopics := topicNameSets(srcCat)
+	dstTopics := topicNameSets(dstCat)
+
+	m := &Mapping{DstToSrc: make([]int, dstCat.Len())}
+	for d := 0; d < dstCat.Len(); d++ {
+		if s, ok := srcCat.Index(dstCat.At(d).ID); ok {
+			m.DstToSrc[d] = s
+			m.ByID++
+			continue
+		}
+		best, bestSim := -1, 0.0
+		for s := 0; s < srcCat.Len(); s++ {
+			if sim := jaccard(dstTopics[d], srcTopics[s]); sim > bestSim {
+				best, bestSim = s, sim
+			}
+		}
+		m.DstToSrc[d] = best
+		if best >= 0 {
+			m.ByTopic++
+		} else {
+			m.Unmatched++
+		}
+	}
+
+	q := qtable.New(dstCat.Len())
+	for s := 0; s < dstCat.Len(); s++ {
+		ms := m.DstToSrc[s]
+		if ms < 0 {
+			continue
+		}
+		for e := 0; e < dstCat.Len(); e++ {
+			me := m.DstToSrc[e]
+			if me < 0 || ms == me {
+				continue
+			}
+			q.Set(s, e, src.Q.Get(ms, me))
+		}
+	}
+	return &sarsa.Policy{Q: q, IDs: dstCat.IDs()}, m, nil
+}
+
+// topicNameSets extracts each item's topic names.
+func topicNameSets(c *item.Catalog) []map[string]bool {
+	out := make([]map[string]bool, c.Len())
+	vocab := c.Vocabulary()
+	for i := 0; i < c.Len(); i++ {
+		set := make(map[string]bool)
+		for _, idx := range c.At(i).Topics.Indices() {
+			set[vocab.Name(idx)] = true
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// jaccard computes |a∩b| / |a∪b|; 0 when either set is empty.
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,143 @@
+package transfer_test
+
+import (
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+	"github.com/rlplanner/rlplanner/internal/transfer"
+)
+
+func TestMapCourseProgramsSharesIDs(t *testing.T) {
+	cs, dsct := univ.Univ1CS(), univ.Univ1DSCT()
+	p, err := core.New(cs, core.Options{Episodes: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	pol, m, err := transfer.Map(p.Policy(), cs.Catalog, dsct.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Q.Size() != dsct.Catalog.Len() {
+		t.Fatalf("transferred Q size = %d", pol.Q.Size())
+	}
+	// The two Univ-1 programs share many CS 6xx courses, so the bulk must
+	// match by id.
+	if m.ByID < 15 {
+		t.Fatalf("only %d id matches between CS and DS-CT", m.ByID)
+	}
+	if m.Unmatched > 5 {
+		t.Fatalf("%d unmatched items", m.Unmatched)
+	}
+}
+
+func TestTransferredPolicyPlansDSCT(t *testing.T) {
+	// §IV-D course study: learn on M.S. CS, recommend for M.S. DS-CT.
+	cs, dsct := univ.Univ1CS(), univ.Univ1DSCT()
+	p, _ := core.New(cs, core.Options{Episodes: 300, Seed: 2})
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	pol, _, err := transfer.Map(p.Policy(), cs.Catalog, dsct.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := core.New(dsct, core.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.SetPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := target.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 10 {
+		t.Fatalf("transferred plan length = %d", len(plan))
+	}
+	if eval.Score(dsct, plan) <= 0 {
+		d := eval.Evaluate(dsct, plan)
+		t.Fatalf("transferred plan scored 0: %v / %v",
+			dsct.Catalog.SequenceIDs(plan), d.Violations)
+	}
+}
+
+func TestMapTripCitiesUsesThemes(t *testing.T) {
+	// NYC↔Paris share no POI ids; the mapping must fall back to theme
+	// similarity.
+	nyc, paris := trip.NYC().Instance, trip.Paris().Instance
+	p, _ := core.New(nyc, core.Options{Episodes: 100, Seed: 4})
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	pol, m, err := transfer.Map(p.Policy(), nyc.Catalog, paris.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ByID != 0 {
+		t.Fatalf("unexpected id matches between cities: %d", m.ByID)
+	}
+	if m.ByTopic < paris.Catalog.Len()/2 {
+		t.Fatalf("only %d theme matches of %d POIs", m.ByTopic, paris.Catalog.Len())
+	}
+	target, _ := core.New(paris, core.Options{Seed: 5})
+	if err := target.SetPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := target.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) < 2 {
+		t.Fatalf("transferred trip plan too short: %v", plan)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	cs, dsct := univ.Univ1CS(), univ.Univ1DSCT()
+	if _, _, err := transfer.Map(nil, cs.Catalog, dsct.Catalog); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	p, _ := core.New(cs, core.Options{Episodes: 20, Seed: 6})
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong source catalog size.
+	if _, _, err := transfer.Map(p.Policy(), dsct.Catalog, cs.Catalog); err == nil {
+		t.Fatal("mismatched source catalog accepted")
+	}
+	var nilQ sarsa.Policy
+	if _, _, err := transfer.Map(&nilQ, cs.Catalog, dsct.Catalog); err == nil {
+		t.Fatal("nil Q accepted")
+	}
+}
+
+func TestMappedQValuesComeFromSource(t *testing.T) {
+	cs, dsct := univ.Univ1CS(), univ.Univ1DSCT()
+	p, _ := core.New(cs, core.Options{Episodes: 150, Seed: 7})
+	if err := p.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	pol, m, err := transfer.Map(p.Policy(), cs.Catalog, dsct.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check: for id-matched pairs, the transferred Q equals the
+	// source Q.
+	s, _ := dsct.Catalog.Index("CS 675")
+	e, _ := dsct.Catalog.Index("CS 652")
+	ss, se := m.DstToSrc[s], m.DstToSrc[e]
+	if ss < 0 || se < 0 {
+		t.Fatal("expected id matches for CS 675 / CS 652")
+	}
+	if pol.Q.Get(s, e) != p.Policy().Q.Get(ss, se) {
+		t.Fatal("transferred Q value differs from source")
+	}
+}

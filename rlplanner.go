@@ -1,0 +1,421 @@
+// Package rlplanner is the public API of RL-Planner, a reproduction of
+// "Guided Task Planning Under Complex Constraints" (ICDE 2022). It plans
+// sequences of items — courses toward a degree, points of interest into a
+// day trip — that satisfy hard constraints (credit totals, primary/
+// secondary splits, prerequisite gaps, time and distance budgets) while
+// maximizing soft constraints (ideal topic coverage and closeness to an
+// expert interleaving template), by learning a SARSA policy over a
+// constrained Markov decision process.
+//
+// Quick start:
+//
+//	inst, _ := rlplanner.InstanceByName("Univ-1 M.S. DS-CT")
+//	p, _ := rlplanner.NewPlanner(inst, rlplanner.Options{Seed: 1})
+//	_ = p.Learn()
+//	plan, _ := p.Plan()
+//	fmt.Println(plan.IDs(), plan.Score)
+//
+// The built-in instances reproduce the paper's datasets: four university
+// degree programs (NJIT-style Univ-1 and Stanford-style Univ-2) and two
+// city trips (NYC, Paris) derived from a simulated Flickr photo log. Use
+// NewInstance to plan over your own catalog.
+package rlplanner
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rlplanner/rlplanner/internal/baselines/eda"
+	"github.com/rlplanner/rlplanner/internal/baselines/gold"
+	"github.com/rlplanner/rlplanner/internal/baselines/omega"
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/item"
+	"github.com/rlplanner/rlplanner/internal/prereq"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+	"github.com/rlplanner/rlplanner/internal/seqsim"
+	"github.com/rlplanner/rlplanner/internal/transfer"
+)
+
+// Instance is one planning problem: an item catalog with its hard and
+// soft constraints and default parameters.
+type Instance struct {
+	inner *dataset.Instance
+}
+
+// Name returns the instance name, e.g. "Univ-1 M.S. DS-CT" or "Paris".
+func (in *Instance) Name() string { return in.inner.Name }
+
+// IsTrip reports whether this is a trip-planning instance.
+func (in *Instance) IsTrip() bool { return in.inner.Kind == dataset.TripPlanning }
+
+// NumItems returns the catalog size |I|.
+func (in *Instance) NumItems() int { return in.inner.Catalog.Len() }
+
+// Topics returns the topic/theme vocabulary.
+func (in *Instance) Topics() []string { return in.inner.Catalog.Vocabulary().Names() }
+
+// GoldScore returns the gold-standard score bound (10, 15 or 5).
+func (in *Instance) GoldScore() float64 { return in.inner.GoldScore }
+
+// DefaultStart returns the default starting item id (s_1 of Table III).
+func (in *Instance) DefaultStart() string { return in.inner.DefaultStart }
+
+// Item describes one catalog item.
+type Item struct {
+	// ID uniquely identifies the item ("CS 675", "louvre museum").
+	ID string
+	// Name is the human-readable title.
+	Name string
+	// Description is the catalog blurb; empty when the dataset has none.
+	Description string
+	// Primary reports whether the item is required (core / must-visit).
+	Primary bool
+	// Credits is the credit hours (courses) or visit hours (POIs).
+	Credits float64
+	// Prerequisite renders the antecedent expression, "[]" when none.
+	Prerequisite string
+	// Topics lists the topics/themes the item covers.
+	Topics []string
+	// Popularity is the POI popularity on 1–5 (0 for courses).
+	Popularity float64
+}
+
+// Items returns the catalog contents.
+func (in *Instance) Items() []Item {
+	c := in.inner.Catalog
+	vocab := c.Vocabulary()
+	out := make([]Item, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		m := c.At(i)
+		out[i] = Item{
+			ID:           m.ID,
+			Name:         m.Name,
+			Description:  m.Description,
+			Primary:      m.Type == item.Primary,
+			Credits:      m.Credits,
+			Prerequisite: prereq.Format(m.Prereq),
+			Topics:       vocab.Decode(m.Topics),
+			Popularity:   m.Popularity,
+		}
+	}
+	return out
+}
+
+// CourseInstances returns the four built-in degree programs (§IV-A1):
+// Univ-1 M.S. DS-CT, Univ-1 M.S. Cybersecurity, Univ-1 M.S. CS and
+// Univ-2 M.S. DS.
+func CourseInstances() []*Instance {
+	insts := append(univ.Univ1All(), univ.Univ2DS())
+	out := make([]*Instance, len(insts))
+	for i, in := range insts {
+		out[i] = &Instance{inner: in}
+	}
+	return out
+}
+
+// TripInstances returns the two built-in city trips: NYC and Paris.
+func TripInstances() []*Instance {
+	insts := trip.Instances()
+	out := make([]*Instance, len(insts))
+	for i, in := range insts {
+		out[i] = &Instance{inner: in}
+	}
+	return out
+}
+
+// Instances returns every built-in instance.
+func Instances() []*Instance {
+	return append(CourseInstances(), TripInstances()...)
+}
+
+// InstanceByName finds a built-in instance by its exact name.
+func InstanceByName(name string) (*Instance, error) {
+	for _, in := range Instances() {
+		if in.Name() == name {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("rlplanner: unknown instance %q (have %v)", name, instanceNames())
+}
+
+func instanceNames() []string {
+	var out []string
+	for _, in := range Instances() {
+		out = append(out, in.Name())
+	}
+	return out
+}
+
+// Options tune the planner; zero values keep the instance's Table III
+// defaults. These are the knobs the paper's robustness study sweeps.
+type Options struct {
+	// Episodes is N, the number of learning episodes.
+	Episodes int
+	// Alpha is the learning rate α ∈ (0, 1].
+	Alpha float64
+	// Gamma is the discount factor γ ∈ [0, 1].
+	Gamma float64
+	// Epsilon is the topic coverage threshold ε.
+	Epsilon float64
+	// Delta and Beta weight the interleaving-similarity and item-type
+	// reward terms (δ + β = 1); set both or neither.
+	Delta, Beta float64
+	// W1 and W2 are the primary/secondary item weights (w1 + w2 = 1).
+	W1, W2 float64
+	// MinimumSimilarity switches the reward to the min-similarity variant.
+	MinimumSimilarity bool
+	// Start is the starting item id (defaults to the instance's).
+	Start string
+	// Seed makes learning and recommendation reproducible.
+	Seed int64
+	// TimeLimitHours overrides the trip time threshold t.
+	TimeLimitHours float64
+	// MaxDistanceKm overrides the trip distance threshold d (negative
+	// disables the check).
+	MaxDistanceKm float64
+}
+
+func (o Options) toCore() core.Options {
+	c := core.Options{
+		Episodes:      o.Episodes,
+		Alpha:         o.Alpha,
+		Gamma:         o.Gamma,
+		Epsilon:       o.Epsilon,
+		Delta:         o.Delta,
+		Beta:          o.Beta,
+		W1:            o.W1,
+		W2:            o.W2,
+		Start:         o.Start,
+		Seed:          o.Seed,
+		TimeLimit:     o.TimeLimitHours,
+		MaxDistanceKm: o.MaxDistanceKm,
+	}
+	if o.Epsilon != 0 {
+		c.HasEpsilon = true
+	}
+	if o.MinimumSimilarity {
+		c.Sim, c.HasSim = seqsim.Minimum, true
+	}
+	return c
+}
+
+// Planner learns and recommends plans for one instance.
+type Planner struct {
+	inst *Instance
+	p    *core.Planner
+}
+
+// NewPlanner builds a planner for the instance.
+func NewPlanner(inst *Instance, opts Options) (*Planner, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("rlplanner: nil instance")
+	}
+	p, err := core.New(inst.inner, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{inst: inst, p: p}, nil
+}
+
+// Learn runs the SARSA learning phase (Algorithm 1 of the paper).
+func (p *Planner) Learn() error { return p.p.Learn() }
+
+// LearningCurve returns the reward collected per learning episode.
+func (p *Planner) LearningCurve() []float64 { return p.p.LearningCurve() }
+
+// Plan recommends a plan from the configured start item.
+func (p *Planner) Plan() (*Plan, error) {
+	seq, err := p.p.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(p.inst, p.p.Env().Hard(), seq), nil
+}
+
+// PlanFrom recommends a plan starting from a specific item.
+func (p *Planner) PlanFrom(id string) (*Plan, error) {
+	seq, err := p.p.PlanFromID(id)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(p.inst, p.p.Env().Hard(), seq), nil
+}
+
+// SavePolicy persists the learned policy.
+func (p *Planner) SavePolicy(w io.Writer) error {
+	pol := p.p.Policy()
+	if pol == nil {
+		return fmt.Errorf("rlplanner: no learned policy (call Learn first)")
+	}
+	return pol.WriteGob(w)
+}
+
+// LoadPolicy installs a previously saved policy, skipping Learn.
+func (p *Planner) LoadPolicy(r io.Reader) error {
+	pol, err := sarsa.ReadPolicy(r)
+	if err != nil {
+		return err
+	}
+	return p.p.SetPolicy(pol)
+}
+
+// Transfer maps this planner's learned policy onto another instance
+// (the §IV-D case study: DS-CT ↔ CS, NYC ↔ Paris). The returned planner
+// is ready to Plan without learning.
+func (p *Planner) Transfer(to *Instance, opts Options) (*Planner, error) {
+	pol := p.p.Policy()
+	if pol == nil {
+		return nil, fmt.Errorf("rlplanner: no learned policy to transfer")
+	}
+	mapped, _, err := transfer.Map(pol, p.inst.inner.Catalog, to.inner.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	target, err := NewPlanner(to, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := target.p.SetPolicy(mapped); err != nil {
+		return nil, err
+	}
+	return target, nil
+}
+
+// PlanStep is one item of a recommended plan.
+type PlanStep struct {
+	// ID and Name identify the item.
+	ID, Name string
+	// Primary reports core/must-visit items.
+	Primary bool
+	// Credits is the item's credit/visit-hours contribution.
+	Credits float64
+}
+
+// Plan is a recommended item sequence with its evaluation.
+type Plan struct {
+	// Steps is the ordered recommendation.
+	Steps []PlanStep
+	// Score is the paper's §IV-A score: 0 when a hard constraint fails,
+	// otherwise the interleaving score (courses) or mean POI popularity
+	// (trips).
+	Score float64
+	// SatisfiesConstraints reports whether every hard constraint holds.
+	SatisfiesConstraints bool
+	// Violations lists failed hard constraints, human-readable.
+	Violations []string
+	// CoverageRatio is the fraction of ideal topics covered.
+	CoverageRatio float64
+	// TotalCredits sums the credit/visit hours.
+	TotalCredits float64
+}
+
+func newPlan(inst *Instance, hard constraints.Hard, seq []int) *Plan {
+	c := inst.inner.Catalog
+	d := eval.EvaluateWith(inst.inner, hard, seq)
+	plan := &Plan{
+		Score:                d.Score,
+		SatisfiesConstraints: len(d.Violations) == 0,
+		CoverageRatio:        d.Coverage,
+		TotalCredits:         c.TotalCredits(seq),
+	}
+	for _, v := range d.Violations {
+		plan.Violations = append(plan.Violations, v.String())
+	}
+	for _, idx := range seq {
+		m := c.At(idx)
+		plan.Steps = append(plan.Steps, PlanStep{
+			ID: m.ID, Name: m.Name, Primary: m.Type == item.Primary, Credits: m.Credits,
+		})
+	}
+	return plan
+}
+
+// IDs returns the plan's item ids in order.
+func (p *Plan) IDs() []string {
+	out := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// GoldStandard synthesizes the handcrafted-quality gold plan (§IV-A2).
+func GoldStandard(inst *Instance) (*Plan, error) {
+	seq, err := gold.Plan(inst.inner)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(inst, inst.inner.Hard, seq), nil
+}
+
+// EDABaseline runs the greedy EDA next-step baseline (§IV-A2).
+func EDABaseline(inst *Instance, opts Options) (*Plan, error) {
+	p, err := core.New(inst.inner, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	seq, err := eda.Plan(p.Env(), p.SarsaConfig().Start, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(inst, p.Env().Hard(), seq), nil
+}
+
+// OmegaBaseline runs the adapted OMEGA baseline (§IV-A2).
+func OmegaBaseline(inst *Instance, opts Options) (*Plan, error) {
+	p, err := core.New(inst.inner, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	seq, err := omega.Plan(p.Env(), p.SarsaConfig().Start)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(inst, p.Env().Hard(), seq), nil
+}
+
+// Ratings are the four user-study questions on the 1–5 scale (§IV-C).
+type Ratings struct {
+	Overall, Ordering, Coverage, Interleaving float64
+}
+
+// RatePlan runs the simulated rater panel over a plan.
+func RatePlan(inst *Instance, plan *Plan, raters int, seed int64) (Ratings, error) {
+	c := inst.inner.Catalog
+	seq := make([]int, len(plan.Steps))
+	for i, s := range plan.Steps {
+		idx, ok := c.Index(s.ID)
+		if !ok {
+			return Ratings{}, fmt.Errorf("rlplanner: plan item %q not in instance %s", s.ID, inst.Name())
+		}
+		seq[i] = idx
+	}
+	r := eval.RatePlan(inst.inner, seq, eval.StudyConfig{Raters: raters, Seed: seed})
+	return Ratings{
+		Overall:      r.Overall,
+		Ordering:     r.Ordering,
+		Coverage:     r.Coverage,
+		Interleaving: r.Interleaving,
+	}, nil
+}
+
+// ExplainPlan renders an advisor-style justification for every plan step:
+// its role, the antecedents it satisfies (or violates) and the ideal
+// topics it newly covers.
+func ExplainPlan(inst *Instance, plan *Plan) ([]string, error) {
+	c := inst.inner.Catalog
+	seq := make([]int, len(plan.Steps))
+	for i, s := range plan.Steps {
+		idx, ok := c.Index(s.ID)
+		if !ok {
+			return nil, fmt.Errorf("rlplanner: plan item %q not in instance %s", s.ID, inst.Name())
+		}
+		seq[i] = idx
+	}
+	return eval.RenderExplanation(eval.Explain(inst.inner, inst.inner.Hard, seq)), nil
+}
