@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages exercising the worker pool and the scratch-buffer hot path —
+# the ones worth a race pass on every change.
+RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/...
+
+.PHONY: check vet build test race bench-hot bench-json
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Microbenchmarks for the per-step MDP loop; run with -benchmem so alloc
+# regressions are visible.
+bench-hot:
+	$(GO) test -run '^$$' -bench 'BenchmarkEpisodeStep|BenchmarkEpisodeReward|BenchmarkSelectAction' -benchmem ./internal/mdp/... ./internal/sarsa/...
+
+# Machine-readable perf records (BENCH_<id>.json) under results/.
+bench-json:
+	$(GO) run ./cmd/benchharness -quick -exp fig1a,tab5 -benchjson results

@@ -25,12 +25,24 @@ import (
 	"github.com/rlplanner/rlplanner/internal/valueiter"
 )
 
-// benchConfig keeps per-iteration work bounded.
+// benchConfig keeps per-iteration work bounded. Workers is left zero, so
+// runs fan out across GOMAXPROCS; the Sequential variant below pins
+// Workers: 1 to expose the pool's speedup in the same bench output.
 var benchConfig = experiments.Config{Runs: 3, BaseSeed: 1, Episodes: 200}
 
 func BenchmarkFig1CoursePlanning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig1Courses(benchConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1CoursePlanningSequential(b *testing.B) {
+	cfg := benchConfig
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1Courses(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

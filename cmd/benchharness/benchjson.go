@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+)
+
+// benchRecord is the machine-readable perf record written as
+// BENCH_<name>.json when -benchjson is set. One "op" is one full
+// invocation of the named experiment (or, for the hotpath record, one
+// candidate-reward evaluation), so successive PRs can track the perf
+// trajectory without parsing text tables.
+type benchRecord struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Runs       int     `json:"runs"`
+	Episodes   int     `json:"episodes"`
+	Ops        int     `json:"ops"`
+	NsOp       int64   `json:"ns_op"`
+	SeqNsOp    int64   `json:"seq_ns_op"`
+	Speedup    float64 `json:"speedup"`
+	AllocsOp   uint64  `json:"allocs_op"`
+	BytesOp    uint64  `json:"bytes_op"`
+}
+
+// writeBench writes rec to dir/BENCH_<name>.json.
+func writeBench(dir string, rec benchRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+rec.Name+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measure times fn once and reports wall nanoseconds plus heap
+// allocation deltas. The GC stats are process-wide, so records taken
+// while other goroutines run attribute their allocations too — fine for
+// the harness, which runs experiments one at a time.
+func measure(fn func() error) (ns int64, allocs, bytes uint64, err error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	err = fn()
+	ns = time.Since(t0).Nanoseconds()
+	runtime.ReadMemStats(&m1)
+	return ns, m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, err
+}
+
+// hotpathRecord benchmarks the per-step MDP loop directly — full greedy
+// episodes on Univ-1 DS-CT, one op per candidate-reward evaluation — so
+// alloc regressions in Episode.Reward/AppendCandidates show up in the
+// JSON trajectory without regenerating any figure.
+func hotpathRecord() (benchRecord, error) {
+	rec := benchRecord{Name: "hotpath", Workers: 1, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	inst := univ.Univ1DSCT()
+	p, err := core.New(inst, core.Options{})
+	if err != nil {
+		return rec, err
+	}
+	env, start := p.Env(), inst.StartIndex()
+
+	const episodes = 2000
+	ops := 0
+	var cands []int
+	ns, allocs, bytes, err := measure(func() error {
+		for i := 0; i < episodes; i++ {
+			ep, err := env.Start(start)
+			if err != nil {
+				return err
+			}
+			for !ep.Done() {
+				cands = ep.AppendCandidates(cands[:0])
+				if len(cands) == 0 {
+					break
+				}
+				best, bestR := cands[0], -1.0
+				for _, c := range cands {
+					if r := ep.Reward(c); r > bestR {
+						best, bestR = c, r
+					}
+					ops++
+				}
+				ep.Step(best)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return rec, err
+	}
+	if ops == 0 {
+		return rec, fmt.Errorf("hotpath: no reward evaluations ran")
+	}
+	rec.Ops = ops
+	rec.NsOp = ns / int64(ops)
+	rec.SeqNsOp = rec.NsOp
+	rec.Speedup = 1
+	rec.AllocsOp = allocs / uint64(ops)
+	rec.BytesOp = bytes / uint64(ops)
+	return rec, nil
+}

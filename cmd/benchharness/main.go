@@ -5,15 +5,24 @@
 //
 //	benchharness [-exp all|fig1a,fig1b,tab4,tab5,tab7,tab8,tab9..tab16,fig2]
 //	             [-runs 10] [-episodes 0] [-seed 1] [-quick]
+//	             [-workers 0] [-benchjson dir]
 //
 // -quick trades fidelity for speed (3 runs, 150 episodes); the default
 // reproduces the paper's 10-run averages at the Table III episode counts.
+// -workers bounds how many independent runs execute concurrently
+// (0 = GOMAXPROCS, 1 = sequential; results are identical either way).
+// -benchjson writes one machine-readable BENCH_<id>.json per experiment
+// (ns/op, allocs/op, speedup vs a sequential reference pass) plus a
+// BENCH_hotpath.json for the per-step MDP loop, so successive PRs can
+// track the perf trajectory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/rlplanner/rlplanner/internal/experiments"
@@ -23,16 +32,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		runs     = flag.Int("runs", 10, "runs to average (the paper uses 10)")
-		episodes = flag.Int("episodes", 0, "override N for every learner (0 = Table III defaults)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		quick    = flag.Bool("quick", false, "fast mode: 3 runs, 150 episodes")
-		charts   = flag.Bool("charts", false, "render Figures 1 and 2 as text charts too")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		runs      = flag.Int("runs", 10, "runs to average (the paper uses 10)")
+		episodes  = flag.Int("episodes", 0, "override N for every learner (0 = Table III defaults)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		quick     = flag.Bool("quick", false, "fast mode: 3 runs, 150 episodes")
+		charts    = flag.Bool("charts", false, "render Figures 1 and 2 as text charts too")
+		workers   = flag.Int("workers", 0, "concurrent runs per experiment (0 = GOMAXPROCS, 1 = sequential)")
+		benchjson = flag.String("benchjson", "", "directory for BENCH_<id>.json perf records (empty = off)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Runs: *runs, BaseSeed: *seed, Episodes: *episodes}
+	cfg := experiments.Config{Runs: *runs, BaseSeed: *seed, Episodes: *episodes, Workers: *workers}
 	if *quick {
 		cfg.Runs, cfg.Episodes = 3, 150
 	}
@@ -44,19 +55,62 @@ func main() {
 	all := want["all"]
 	ran := 0
 
-	run := func(id string, fn func() error) {
+	// All rendering goes through out so the sequential reference pass of
+	// -benchjson can run silently.
+	var out io.Writer = os.Stdout
+
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	// run executes one experiment. With -benchjson it first repeats the
+	// experiment with Workers: 1 and output discarded to obtain the
+	// sequential reference time, then times (and alloc-profiles) the real
+	// pass and writes BENCH_<id>.json.
+	run := func(id string, fn func(experiments.Config) error) {
 		if !all && !want[id] {
 			return
 		}
 		ran++
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+		var seqNs int64
+		if *benchjson != "" {
+			seqCfg := cfg
+			seqCfg.Workers = 1
+			out = io.Discard
+			ns, _, _, err := measure(func() error { return fn(seqCfg) })
+			out = os.Stdout
+			if err != nil {
+				fail(id, err)
+			}
+			seqNs = ns
 		}
-		fmt.Println()
+		ns, allocs, bytes, err := measure(func() error { return fn(cfg) })
+		if err != nil {
+			fail(id, err)
+		}
+		if *benchjson != "" {
+			rec := benchRecord{
+				Name:       id,
+				Workers:    cfg.Workers,
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				Runs:       cfg.Runs,
+				Episodes:   cfg.Episodes,
+				Ops:        1,
+				NsOp:       ns,
+				SeqNsOp:    seqNs,
+				Speedup:    float64(seqNs) / float64(ns),
+				AllocsOp:   allocs,
+				BytesOp:    bytes,
+			}
+			if err := writeBench(*benchjson, rec); err != nil {
+				fail(id, err)
+			}
+		}
+		fmt.Fprintln(out)
 	}
 
-	render := func(t *stats.Table) error { return t.Render(os.Stdout) }
+	render := func(t *stats.Table) error { return t.Render(out) }
 
 	fig1Chart := func(rows []experiments.Fig1Row, title string) error {
 		if !*charts {
@@ -69,8 +123,8 @@ func main() {
 			labels[i] = r.Instance
 			rl[i], om[i], ed[i], gd[i] = r.RLAvgSim, r.Omega, r.EDA, r.Gold
 		}
-		fmt.Println()
-		return plot.Bars(os.Stdout, title+" (chart)", labels, []plot.Series{
+		fmt.Fprintln(out)
+		return plot.Bars(out, title+" (chart)", labels, []plot.Series{
 			{Name: "RL-Planner", Values: rl},
 			{Name: "OMEGA", Values: om},
 			{Name: "EDA", Values: ed},
@@ -78,7 +132,7 @@ func main() {
 		}, 40)
 	}
 
-	run("fig1a", func() error {
+	run("fig1a", func(cfg experiments.Config) error {
 		rows, err := experiments.Fig1Courses(cfg)
 		if err != nil {
 			return err
@@ -88,7 +142,7 @@ func main() {
 		}
 		return fig1Chart(rows, "Fig 1(a)")
 	})
-	run("fig1b", func() error {
+	run("fig1b", func(cfg experiments.Config) error {
 		rows, err := experiments.Fig1Trips(cfg)
 		if err != nil {
 			return err
@@ -98,14 +152,14 @@ func main() {
 		}
 		return fig1Chart(rows, "Fig 1(b)")
 	})
-	run("tab4", func() error {
+	run("tab4", func(cfg experiments.Config) error {
 		r, err := experiments.Table4(cfg)
 		if err != nil {
 			return err
 		}
 		return render(experiments.Table4Table(r))
 	})
-	run("tab5", func() error {
+	run("tab5", func(cfg experiments.Config) error {
 		cases, err := experiments.Table5(cfg)
 		if err != nil {
 			return err
@@ -113,7 +167,7 @@ func main() {
 		return render(experiments.TransferTable(cases,
 			"Table V: transfer learning between M.S. CS and M.S. DS-CT"))
 	})
-	run("tab7", func() error {
+	run("tab7", func(cfg experiments.Config) error {
 		cases, err := experiments.Table7(cfg)
 		if err != nil {
 			return err
@@ -121,7 +175,7 @@ func main() {
 		return render(experiments.TransferTable(cases,
 			"Table VII: transfer learning between NYC and Paris"))
 	})
-	run("tab8", func() error {
+	run("tab8", func(cfg experiments.Config) error {
 		rows, err := experiments.Table8(cfg)
 		if err != nil {
 			return err
@@ -141,7 +195,7 @@ func main() {
 	}
 	for _, id := range []string{"tab9", "tab10", "tab11", "tab12", "tab13", "tab14", "tab15", "tab16"} {
 		fn := sweeps[id]
-		run(id, func() error {
+		run(id, func(cfg experiments.Config) error {
 			results, err := fn(cfg)
 			if err != nil {
 				return err
@@ -150,13 +204,13 @@ func main() {
 				if err := render(s.Render()); err != nil {
 					return err
 				}
-				fmt.Println()
+				fmt.Fprintln(out)
 			}
 			return nil
 		})
 	}
 
-	run("fig2", func() error {
+	run("fig2", func(cfg experiments.Config) error {
 		points, err := experiments.Fig2(cfg)
 		if err != nil {
 			return err
@@ -184,11 +238,11 @@ func main() {
 		for _, name := range order {
 			series = append(series, plot.Series{Name: name + " learn ms", Values: byInstance[name]})
 		}
-		fmt.Println()
-		return plot.Lines(os.Stdout, "Fig 2(a)(c): learning time vs N (chart)", labels, series, 50, 10)
+		fmt.Fprintln(out)
+		return plot.Lines(out, "Fig 2(a)(c): learning time vs N (chart)", labels, series, 50, 10)
 	})
 
-	run("ablations", func() error {
+	run("ablations", func(cfg experiments.Config) error {
 		rows, err := experiments.Ablations(cfg)
 		if err != nil {
 			return err
@@ -196,7 +250,19 @@ func main() {
 		return render(experiments.AblationTable(rows))
 	})
 
-	if ran == 0 {
+	if *benchjson != "" {
+		rec, err := hotpathRecord()
+		if err != nil {
+			fail("hotpath", err)
+		}
+		if err := writeBench(*benchjson, rec); err != nil {
+			fail("hotpath", err)
+		}
+		fmt.Fprintf(out, "hot path: %d reward evals, %d ns/op, %d allocs/op → %s\n",
+			rec.Ops, rec.NsOp, rec.AllocsOp, "BENCH_hotpath.json")
+	}
+
+	if ran == 0 && *benchjson == "" {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
 		os.Exit(2)
 	}

@@ -21,13 +21,14 @@ func Plan(env *mdp.Env, start int, seed int64) ([]int, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
+	var cands, ties []int // reused across steps; Reward itself is allocation-free
 	for !ep.Done() {
-		cands := ep.Candidates()
+		cands = ep.AppendCandidates(cands[:0])
 		if len(cands) == 0 {
 			break
 		}
 		best := 0.0
-		var ties []int
+		ties = ties[:0]
 		for i, c := range cands {
 			r := ep.Reward(c)
 			switch {

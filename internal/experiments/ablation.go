@@ -36,10 +36,10 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	var rows []AblationRow
 
 	runRL := func(dim, variant string, opts core.Options, raw bool) error {
-		var scores []float64
-		var learn time.Duration
-		var conv, convRuns int
-		for r := 0; r < cfg.Runs; r++ {
+		scores := make([]float64, cfg.Runs)
+		times := make([]time.Duration, cfg.Runs)
+		convs := make([]int, cfg.Runs)
+		err := forEach(cfg.workers(), cfg.Runs, func(r int) error {
 			o := opts
 			o.Seed = cfg.BaseSeed + int64(r)
 			if cfg.Episodes > 0 {
@@ -53,7 +53,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			if err := p.Learn(); err != nil {
 				return err
 			}
-			learn += time.Since(t0)
+			times[r] = time.Since(t0)
 			var plan []int
 			if raw {
 				plan, err = p.PlanRaw(inst.StartIndex())
@@ -63,9 +63,19 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			if err != nil {
 				return err
 			}
-			scores = append(scores, eval.Score(inst, plan))
-			if c := stats.ConvergedAt(p.LearningCurve(), 40, 2.0); c >= 0 {
-				conv += c
+			scores[r] = eval.Score(inst, plan)
+			convs[r] = stats.ConvergedAt(p.LearningCurve(), 40, 2.0)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var learn time.Duration
+		var conv, convRuns int
+		for r := 0; r < cfg.Runs; r++ {
+			learn += times[r]
+			if convs[r] >= 0 {
+				conv += convs[r]
 				convRuns++
 			}
 		}
@@ -114,22 +124,32 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var viScores []float64
-	var viTime time.Duration
-	var viIters int
-	for r := 0; r < cfg.Runs; r++ {
+	viScores := make([]float64, cfg.Runs)
+	viTimes := make([]time.Duration, cfg.Runs)
+	viIterPerRun := make([]int, cfg.Runs)
+	err = forEach(cfg.workers(), cfg.Runs, func(r int) error {
 		t0 := time.Now()
 		res, err := valueiter.Solve(p.Env(), valueiter.Config{Gamma: 0.95, Seed: cfg.BaseSeed + int64(r)})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		viTime += time.Since(t0)
+		viTimes[r] = time.Since(t0)
 		plan, err := res.Policy.RecommendGuided(p.Env(), inst.StartIndex())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		viScores = append(viScores, eval.Score(inst, plan))
-		viIters += res.Iterations
+		viScores[r] = eval.Score(inst, plan)
+		viIterPerRun[r] = res.Iterations
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var viTime time.Duration
+	var viIters int
+	for r := 0; r < cfg.Runs; r++ {
+		viTime += viTimes[r]
+		viIters += viIterPerRun[r]
 	}
 	rows = append(rows, AblationRow{
 		Dimension: "solver", Variant: "value-iteration",

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkerDeterminism pins the pool's central contract: the worker
+// count is a throughput knob, never a semantics knob. Every run derives
+// its seed from BaseSeed plus its index and writes into its own result
+// slot, so Workers: 1 and Workers: 8 must produce bit-identical rows.
+func TestWorkerDeterminism(t *testing.T) {
+	seq := Config{Runs: 3, BaseSeed: 5, Episodes: 50, Workers: 1}
+	par := seq
+	par.Workers = 8
+
+	t.Run("fig1", func(t *testing.T) {
+		a, err := Fig1Courses(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Fig1Courses(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("Fig1 rows differ between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+
+	t.Run("table5", func(t *testing.T) {
+		a, err := Table5(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Table5(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("Table5 cases differ between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", a, b)
+		}
+	})
+}
+
+// TestForEach covers the pool primitive itself: full coverage of the
+// index space, index-addressed writes, and lowest-index error selection.
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		got := make([]int, 100)
+		if err := forEach(workers, len(got), func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	errA := &indexError{3}
+	errB := &indexError{7}
+	err := forEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("forEach error = %v, want lowest-index error %v", err, errA)
+	}
+}
+
+type indexError struct{ i int }
+
+func (e *indexError) Error() string { return "fail" }

@@ -28,6 +28,13 @@ type Config struct {
 	// Episodes overrides N for every learner; 0 keeps instance defaults.
 	// The quick mode of the harness uses this to keep CI fast.
 	Episodes int
+	// Workers bounds how many independent runs (seeds, sweep points,
+	// instances) execute concurrently: 0 uses GOMAXPROCS, 1 forces the
+	// sequential order. Results are bit-identical for any worker count —
+	// every run derives its randomness from BaseSeed plus its index and
+	// writes into its own result slot (see pool.go). Timing experiments
+	// (Fig2) always run sequentially so their measurements stay clean.
+	Workers int
 }
 
 // withDefaults normalizes a config.
@@ -48,24 +55,28 @@ func ScoreRL(inst *dataset.Instance, opts core.Options, cfg Config) ([]float64, 
 	if cfg.Episodes > 0 && opts.Episodes == 0 {
 		opts.Episodes = cfg.Episodes
 	}
-	scores := make([]float64, 0, cfg.Runs)
-	for r := 0; r < cfg.Runs; r++ {
+	scores := make([]float64, cfg.Runs)
+	err := forEach(cfg.workers(), cfg.Runs, func(r int) error {
 		o := opts
 		o.Seed = cfg.BaseSeed + int64(r)
 		p, err := core.New(inst, o)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", inst.Name, err)
+			return fmt.Errorf("%s: %w", inst.Name, err)
 		}
 		if err := p.Learn(); err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := p.Plan()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Score against the constraints the planner actually ran under
 		// (sweeps override t and d).
-		scores = append(scores, eval.ScoreWith(inst, p.Env().Hard(), plan))
+		scores[r] = eval.ScoreWith(inst, p.Env().Hard(), plan)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return scores, nil
 }

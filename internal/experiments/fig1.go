@@ -39,29 +39,33 @@ func Fig1Trips(cfg Config) ([]Fig1Row, error) {
 }
 
 func fig1Over(insts []*dataset.Instance, cfg Config) ([]Fig1Row, error) {
-	rows := make([]Fig1Row, 0, len(insts))
-	for _, inst := range insts {
+	// Each bar group is an independent planning problem, so the instance
+	// loop fans out too; every inner ScoreRL additionally fans out its
+	// per-seed runs on the same pool bound.
+	rows := make([]Fig1Row, len(insts))
+	err := forEach(cfg.workers(), len(insts), func(i int) error {
+		inst := insts[i]
 		avg, err := ScoreRL(inst, core.Options{}, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		min, err := ScoreRL(inst, core.Options{Sim: seqsim.Minimum, HasSim: true}, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		om, err := ScoreOmega(inst, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ed, err := ScoreEDA(inst, core.Options{}, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gd, err := ScoreGold(inst)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig1Row{
+		rows[i] = Fig1Row{
 			Instance: inst.Name,
 			RLAvgSim: meanOrZero(avg),
 			RLAvgStd: stats.StdDev(avg),
@@ -69,7 +73,11 @@ func fig1Over(insts []*dataset.Instance, cfg Config) ([]Fig1Row, error) {
 			Omega:    om,
 			EDA:      meanOrZero(ed),
 			Gold:     gd,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves Config.Workers into an effective worker count:
+// 0 means one worker per logical CPU, 1 forces sequential execution.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0), …, fn(n-1) on up to workers goroutines and waits
+// for all of them. Callers must write results into index-addressed slots
+// (never append under the pool) so the output is bit-identical to the
+// sequential loop regardless of scheduling; every run derives its own
+// seed from the index, so parallel and sequential execution see the same
+// randomness. The returned error is the lowest-indexed failure, mirroring
+// sequential first-error semantics (unlike the sequential loop, later
+// iterations still run — experiment errors are configuration bugs, not
+// data-dependent, so the extra work is irrelevant in practice).
+//
+// workers <= 1 (or n <= 1) degenerates to a plain loop with early return.
+// Nested forEach calls (a sweep over values whose points each fan out
+// their runs) simply stack goroutines; each level is bounded by workers
+// and the Go scheduler multiplexes them onto GOMAXPROCS threads, so
+// oversubscription costs scheduling only, not correctness.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -35,29 +35,40 @@ func sweep(inst *dataset.Instance, param string, labels []string,
 	optsFor func(i int) core.Options, edaApplies bool, cfg Config) (*SweepResult, error) {
 
 	out := &SweepResult{Instance: inst.Name, Param: param, Labels: labels}
-	for i := range labels {
+	out.RLAvg = make([]float64, len(labels))
+	out.RLMin = make([]float64, len(labels))
+	if edaApplies {
+		out.EDA = make([]float64, len(labels))
+	}
+	// Sweep points are independent (all share Table III defaults except
+	// the swept parameter), so the grid fans out across the pool.
+	err := forEach(cfg.workers(), len(labels), func(i int) error {
 		opts := optsFor(i)
 		avg, err := ScoreRL(inst, opts, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s %s=%s: %w", inst.Name, param, labels[i], err)
+			return fmt.Errorf("%s %s=%s: %w", inst.Name, param, labels[i], err)
 		}
-		out.RLAvg = append(out.RLAvg, meanOrZero(avg))
+		out.RLAvg[i] = meanOrZero(avg)
 
 		minOpts := opts
 		minOpts.Sim, minOpts.HasSim = seqsim.Minimum, true
 		min, err := ScoreRL(inst, minOpts, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.RLMin = append(out.RLMin, meanOrZero(min))
+		out.RLMin[i] = meanOrZero(min)
 
 		if edaApplies {
 			eda, err := ScoreEDA(inst, opts, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out.EDA = append(out.EDA, meanOrZero(eda))
+			out.EDA[i] = meanOrZero(eda)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -45,23 +45,30 @@ func Table4(cfg Config) (*Table4Result, error) {
 	out.CourseGold = eval.RatePlan(inst, goldPlan, study)
 
 	// Trip planning: pool NYC and Paris ratings (5 itineraries each,
-	// 5 raters per itinerary) by averaging the two cities' panels.
+	// 5 raters per itinerary) by averaging the two cities' panels. The two
+	// city panels are independent, so they run on the pool.
 	cities := []*struct {
 		rl, gd eval.Ratings
 	}{{}, {}}
-	for ci, cityInst := range trip.Instances() {
+	tripInsts := trip.Instances()
+	err = forEach(cfg.workers(), len(tripInsts), func(ci int) error {
+		cityInst := tripInsts[ci]
 		tPlan, err := medianPlanOverSeeds(cityInst, cfg, 3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gPlan, err := gold.Plan(cityInst)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sc := eval.StudyConfig{Raters: 25, Seed: cfg.BaseSeed + 100 + int64(ci)}
 		cities[ci].rl = eval.RatePlan(cityInst, tPlan, sc)
 		sc.Seed += 10
 		cities[ci].gd = eval.RatePlan(cityInst, gPlan, sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out.TripRL = averageRatings(cities[0].rl, cities[1].rl)
 	out.TripGold = averageRatings(cities[0].gd, cities[1].gd)
@@ -76,20 +83,24 @@ func medianPlanOverSeeds(inst *dataset.Instance, cfg Config, seeds int) ([]int, 
 		plan  []int
 		score float64
 	}
-	all := make([]scored, 0, seeds)
-	for s := 0; s < seeds; s++ {
+	all := make([]scored, seeds)
+	err := forEach(cfg.workers(), seeds, func(s int) error {
 		p, err := core.New(inst, core.Options{Seed: cfg.BaseSeed + int64(s), Episodes: cfg.Episodes})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := p.Learn(); err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := p.Plan()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		all = append(all, scored{plan, eval.Score(inst, plan)})
+		all[s] = scored{plan, eval.Score(inst, plan)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
 	return all[len(all)/2].plan, nil

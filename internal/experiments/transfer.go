@@ -107,32 +107,33 @@ func describePlan(inst *dataset.Instance, plan []int) []string {
 	return out
 }
 
+// transferPair runs both transfer directions between two instances,
+// fanning the independent directions across the pool.
+func transferPair(a, b *dataset.Instance, cfg Config) ([]*TransferCase, error) {
+	pairs := [2][2]*dataset.Instance{{a, b}, {b, a}}
+	cases := make([]*TransferCase, len(pairs))
+	err := forEach(cfg.workers(), len(pairs), func(i int) error {
+		c, err := transferBetween(pairs[i][0], pairs[i][1], cfg)
+		if err != nil {
+			return err
+		}
+		cases[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
 // Table5 reproduces the course transfer study: M.S. CS ↔ M.S. DS-CT.
 func Table5(cfg Config) ([]*TransferCase, error) {
-	cs, dsct := univ.Univ1CS(), univ.Univ1DSCT()
-	a, err := transferBetween(cs, dsct, cfg)
-	if err != nil {
-		return nil, err
-	}
-	b, err := transferBetween(dsct, cs, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []*TransferCase{a, b}, nil
+	return transferPair(univ.Univ1CS(), univ.Univ1DSCT(), cfg)
 }
 
 // Table7 reproduces the trip transfer study: NYC ↔ Paris.
 func Table7(cfg Config) ([]*TransferCase, error) {
-	nyc, paris := trip.NYC().Instance, trip.Paris().Instance
-	a, err := transferBetween(nyc, paris, cfg)
-	if err != nil {
-		return nil, err
-	}
-	b, err := transferBetween(paris, nyc, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []*TransferCase{a, b}, nil
+	return transferPair(trip.NYC().Instance, trip.Paris().Instance, cfg)
 }
 
 // TransferTable renders transfer cases in the Table V / Table VII layout.
@@ -162,40 +163,46 @@ type Table8Row struct {
 // RL-Planner itineraries with their POI types, total time and distance.
 func Table8(cfg Config) ([]Table8Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Table8Row
-	for ci, city := range []*trip.CityData{trip.NYC(), trip.Paris()} {
-		inst := city.Instance
-		for v := 0; v < 2; v++ {
-			p, err := core.New(inst, core.Options{
-				Seed:     cfg.BaseSeed + int64(ci*10+v),
-				Episodes: cfg.Episodes,
-				// The paper's Table VIII varies t and d per itinerary.
-				TimeLimit:     []float64{6, 8}[v],
-				MaxDistanceKm: []float64{4, 5}[v],
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := p.Learn(); err != nil {
-				return nil, err
-			}
-			plan, err := p.Plan()
-			if err != nil {
-				return nil, err
-			}
-			types := make([]string, len(plan))
-			for i, idx := range plan {
-				m := inst.Catalog.At(idx)
-				types[i] = inst.Catalog.Vocabulary().Name(m.Category)
-			}
-			rows = append(rows, Table8Row{
-				City:      inst.Name,
-				Itinerary: inst.Catalog.SequenceIDs(plan),
-				Types:     types,
-				TimeHours: inst.Catalog.TotalCredits(plan),
-				DistKm:    pathDistance(inst, plan),
-			})
+	cities := []*trip.CityData{trip.NYC(), trip.Paris()}
+	const variants = 2
+	// The (city, variant) grid is four independent learn+plan jobs.
+	rows := make([]Table8Row, len(cities)*variants)
+	err := forEach(cfg.workers(), len(rows), func(j int) error {
+		ci, v := j/variants, j%variants
+		inst := cities[ci].Instance
+		p, err := core.New(inst, core.Options{
+			Seed:     cfg.BaseSeed + int64(ci*10+v),
+			Episodes: cfg.Episodes,
+			// The paper's Table VIII varies t and d per itinerary.
+			TimeLimit:     []float64{6, 8}[v],
+			MaxDistanceKm: []float64{4, 5}[v],
+		})
+		if err != nil {
+			return err
 		}
+		if err := p.Learn(); err != nil {
+			return err
+		}
+		plan, err := p.Plan()
+		if err != nil {
+			return err
+		}
+		types := make([]string, len(plan))
+		for i, idx := range plan {
+			m := inst.Catalog.At(idx)
+			types[i] = inst.Catalog.Vocabulary().Name(m.Category)
+		}
+		rows[j] = Table8Row{
+			City:      inst.Name,
+			Itinerary: inst.Catalog.SequenceIDs(plan),
+			Types:     types,
+			TimeHours: inst.Catalog.TotalCredits(plan),
+			DistKm:    pathDistance(inst, plan),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

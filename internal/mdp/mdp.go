@@ -76,6 +76,9 @@ type Env struct {
 	soft    constraints.Soft
 	reward  reward.Config
 	budget  Budget
+	// idealSize caches |T_ideal| so candidate evaluation does not
+	// recount the ideal vector on every transition.
+	idealSize int
 }
 
 // NewEnv validates the pieces and builds an environment.
@@ -99,7 +102,8 @@ func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
 			return nil, err
 		}
 	}
-	return &Env{catalog: c, hard: hard, soft: soft, reward: rw, budget: budget}, nil
+	return &Env{catalog: c, hard: hard, soft: soft, reward: rw, budget: budget,
+		idealSize: soft.Ideal.Count()}, nil
 }
 
 // Catalog returns the environment's item catalog.
@@ -120,7 +124,10 @@ func (e *Env) Budget() Budget { return e.budget }
 // NumItems returns |I|, the size of the state space.
 func (e *Env) NumItems() int { return e.catalog.Len() }
 
-// Episode is the mutable state of one trajectory.
+// Episode is the mutable state of one trajectory. An Episode is NOT safe
+// for concurrent use: candidate evaluation reuses per-episode scratch
+// buffers (see TransitionScratch). Concurrent learners each run their own
+// Episode against a shared, immutable Env.
 type Episode struct {
 	env       *Env
 	seq       []int
@@ -130,6 +137,13 @@ type Episode struct {
 	credits   float64
 	distance  float64
 	chosen    []bool
+	// candTypes is the scratch type sequence for candidate evaluation:
+	// seqTypes plus one slot for the candidate's type. It is rebuilt once
+	// per step (in admit), so evaluating a candidate only writes the final
+	// slot — no per-candidate copy of the type sequence.
+	candTypes []item.Type
+	// scratch is the reusable Transition TransitionScratch hands out.
+	scratch reward.Transition
 }
 
 // Start begins an episode at the given item (state s_1 of Algorithm 1).
@@ -166,6 +180,15 @@ func (ep *Episode) admit(idx int) {
 	ep.current.UnionInPlace(m.Topics)
 	ep.credits += m.Credits
 	ep.chosen[idx] = true
+
+	// Rebuild the candidate type buffer once per step; TransitionScratch
+	// then only writes the final slot per candidate.
+	n := len(ep.seqTypes)
+	if cap(ep.candTypes) < n+1 {
+		ep.candTypes = make([]item.Type, n+1, 2*(n+1))
+	}
+	ep.candTypes = ep.candTypes[:n+1]
+	copy(ep.candTypes, ep.seqTypes)
 }
 
 // Len returns the number of items in the trajectory so far.
@@ -216,20 +239,31 @@ func (ep *Episode) CanStep(idx int) bool {
 	return true
 }
 
-// Candidates returns every item CanStep admits, in catalog order.
-func (ep *Episode) Candidates() []int {
-	var out []int
+// AppendCandidates appends every item CanStep admits, in catalog order,
+// to buf and returns the extended slice. Hot loops pass buf[:0] of a
+// retained slice to reuse one allocation across steps; Candidates is the
+// allocating convenience form.
+func (ep *Episode) AppendCandidates(buf []int) []int {
 	for idx := range ep.chosen {
 		if ep.CanStep(idx) {
-			out = append(out, idx)
+			buf = append(buf, idx)
 		}
 	}
-	return out
+	return buf
 }
 
-// Transition computes the Equation 2 facts for adding item idx without
-// mutating the episode. Callers should ensure CanStep(idx).
-func (ep *Episode) Transition(idx int) reward.Transition {
+// Candidates returns every item CanStep admits, in catalog order.
+func (ep *Episode) Candidates() []int { return ep.AppendCandidates(nil) }
+
+// TransitionScratch computes the Equation 2 facts for adding item idx
+// without mutating the episode and without allocating. The returned
+// Transition aliases episode-owned scratch buffers (SeqTypes in
+// particular) and is only valid until the next TransitionScratch, Reward
+// or Step call on the same episode; it must not be retained or shared
+// across goroutines. Hot loops (learning, baselines) use this; Transition
+// returns a stable copy for everyone else. Callers should ensure
+// CanStep(idx).
+func (ep *Episode) TransitionScratch(idx int) *reward.Transition {
 	m := ep.env.catalog.At(idx)
 	themeOK := true
 	if ep.env.hard.ThemeGap && len(ep.seq) > 0 {
@@ -238,21 +272,33 @@ func (ep *Episode) Transition(idx int) reward.Transition {
 			themeOK = false
 		}
 	}
-	return reward.Transition{
-		SeqTypes:     append(ep.Types(), m.Type),
+	ep.candTypes[len(ep.seqTypes)] = m.Type
+	ep.scratch = reward.Transition{
+		SeqTypes:     ep.candTypes,
 		CoverageGain: m.Topics.NewCoverage(ep.current, ep.env.soft.Ideal),
-		IdealSize:    ep.env.soft.Ideal.Count(),
+		IdealSize:    ep.env.idealSize,
 		PrereqOK:     prereq.Satisfied(m.Prereq, len(ep.seq), ep.positions, ep.env.hard.Gap),
 		ThemeOK:      themeOK,
 		Type:         m.Type,
 		Category:     m.Category,
 		Popularity:   m.Popularity,
 	}
+	return &ep.scratch
+}
+
+// Transition computes the Equation 2 facts for adding item idx without
+// mutating the episode. Unlike TransitionScratch, the result owns its
+// memory and stays valid indefinitely. Callers should ensure CanStep(idx).
+func (ep *Episode) Transition(idx int) reward.Transition {
+	tr := *ep.TransitionScratch(idx)
+	tr.SeqTypes = append([]item.Type(nil), tr.SeqTypes...)
+	return tr
 }
 
 // Reward returns R(s_i, e, s_{i+1}) for adding item idx, without stepping.
+// It evaluates through the scratch transition, so it allocates nothing.
 func (ep *Episode) Reward(idx int) float64 {
-	return ep.env.reward.Reward(ep.Transition(idx))
+	return ep.env.reward.Reward(*ep.TransitionScratch(idx))
 }
 
 // Step adds item idx to the trajectory and returns its reward. It panics

@@ -15,6 +15,13 @@ import (
 
 // Table is a dense action-value table over n items. The zero Table is not
 // usable; construct with New.
+//
+// Concurrency: Table does no locking. Mutators (Set, Update, Fill) must
+// not run concurrently with anything else, but once learning completes
+// the table is effectively immutable and the read-only methods (Get,
+// ArgMax, ArgMaxTies, Row, MaxAbs, WriteGob, WriteJSON) are safe to call
+// from any number of goroutines — the experiment pool relies on this to
+// share a learned policy across parallel evaluation runs.
 type Table struct {
 	n int
 	q []float64 // row-major: q[s*n+e]

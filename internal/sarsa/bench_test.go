@@ -1,0 +1,75 @@
+package sarsa
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/qtable"
+	"github.com/rlplanner/rlplanner/internal/reward"
+)
+
+// benchEnv builds the Univ-1 DS-CT environment with its Table III
+// defaults, mirroring core.New without importing it (an in-package test
+// cannot depend on core, which imports sarsa).
+func benchEnv(b *testing.B) (*mdp.Env, int) {
+	b.Helper()
+	inst := univ.Univ1DSCT()
+	d := inst.Defaults
+	rw := reward.Config{
+		Delta:    d.Delta,
+		Beta:     d.Beta,
+		Epsilon:  d.Epsilon,
+		Weights:  reward.Weights{Primary: d.W1, Secondary: d.W2, Category: d.CategoryWeights},
+		Sim:      d.Sim,
+		Template: inst.Soft.Template,
+	}
+	env, err := mdp.NewEnv(inst.Catalog, inst.Hard, inst.Soft, rw,
+		mdp.CountBudget{H: inst.Hard.Length()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env, inst.StartIndex()
+}
+
+// BenchmarkSelectAction measures one greedy action selection — the
+// per-step core of Algorithm 1's learning loop: candidate scan plus an
+// Equation 2 evaluation per candidate. Run with -benchmem; with the
+// scratch buffers this must stay at zero allocs/op.
+func BenchmarkSelectAction(b *testing.B) {
+	env, start := benchEnv(b)
+	for _, sel := range []Selection{RewardGreedy, QGreedy} {
+		b.Run(sel.String(), func(b *testing.B) {
+			ep, err := env.Start(start)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := qtable.New(env.NumItems())
+			rng := rand.New(rand.NewSource(1))
+			var sc scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e := selectAction(ep, ep.Last(), q, sel, 0, rng, &sc); e < 0 {
+					b.Fatal("no action available")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLearn measures a short end-to-end learning run, the unit the
+// experiment pool fans out per seed.
+func BenchmarkLearn(b *testing.B) {
+	env, start := benchEnv(b)
+	cfg := Config{Episodes: 50, Alpha: 0.75, Gamma: 0.95, Start: start, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Learn(env, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

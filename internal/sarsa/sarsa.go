@@ -170,6 +170,7 @@ func Learn(env *mdp.Env, cfg Config) (*Result, error) {
 	q := qtable.New(n)
 	returns := make([]float64, 0, cfg.Episodes)
 	eps := cfg.explore()
+	var sc scratch // reused across every episode and step
 
 	for i := 0; i < cfg.Episodes; i++ {
 		start := cfg.Start
@@ -183,14 +184,14 @@ func Learn(env *mdp.Env, cfg Config) (*Result, error) {
 		var total float64
 
 		s := start
-		e := selectAction(ep, s, q, cfg.Selection, eps, rng)
+		e := selectAction(ep, s, q, cfg.Selection, eps, rng, &sc)
 		for e >= 0 {
 			r := ep.Step(e)
 			total += r
 			sNext := e
 			eNext := -1
 			if !ep.Done() {
-				eNext = selectAction(ep, sNext, q, cfg.Selection, eps, rng)
+				eNext = selectAction(ep, sNext, q, cfg.Selection, eps, rng, &sc)
 			}
 			// SARSA bootstraps on the action actually taken next (Eq. 9);
 			// Q-learning bootstraps on the best available next action.
@@ -216,11 +217,21 @@ func Learn(env *mdp.Env, cfg Config) (*Result, error) {
 	}, nil
 }
 
+// scratch holds the per-learner slices selectAction reuses across steps
+// so the learning hot loop allocates nothing. A scratch belongs to one
+// goroutine; concurrent learners each carry their own.
+type scratch struct {
+	cands []int
+	ties  []int
+	ties2 []int
+}
+
 // selectAction picks the next item from the episode's candidates, or -1
 // when none remain. With probability eps it explores uniformly; otherwise
 // it exploits per the selection rule, breaking ties uniformly at random.
-func selectAction(ep *mdp.Episode, s int, q *qtable.Table, sel Selection, eps float64, rng *rand.Rand) int {
-	cands := ep.Candidates()
+func selectAction(ep *mdp.Episode, s int, q *qtable.Table, sel Selection, eps float64, rng *rand.Rand, sc *scratch) int {
+	sc.cands = ep.AppendCandidates(sc.cands[:0])
+	cands := sc.cands
 	if len(cands) == 0 {
 		return -1
 	}
@@ -232,6 +243,7 @@ func selectAction(ep *mdp.Episode, s int, q *qtable.Table, sel Selection, eps fl
 	switch sel {
 	case QGreedy:
 		best := 0.0
+		ties = sc.ties[:0]
 		for i, c := range cands {
 			v := q.Get(s, c)
 			switch {
@@ -243,12 +255,15 @@ func selectAction(ep *mdp.Episode, s int, q *qtable.Table, sel Selection, eps fl
 				ties = append(ties, c)
 			}
 		}
+		sc.ties = ties[:0]
 		if len(ties) > 1 {
 			// Break Q ties by immediate reward, then randomly.
-			ties = bestByReward(ep, ties)
+			sc.ties2 = bestByReward(ep, ties, sc.ties2[:0])
+			ties = sc.ties2
 		}
 	default: // RewardGreedy, Algorithm 1 lines 4 and 9
-		ties = bestByReward(ep, cands)
+		sc.ties = bestByReward(ep, cands, sc.ties[:0])
+		ties = sc.ties
 	}
 	return ties[rng.Intn(len(ties))]
 }
@@ -314,10 +329,11 @@ func bestRewardThenQ(ep *mdp.Episode, q *qtable.Table, s int, allowed func(int) 
 }
 
 // bestByReward filters cands down to those with the maximal immediate
-// Equation 2 reward.
-func bestByReward(ep *mdp.Episode, cands []int) []int {
+// Equation 2 reward, appending them to dst (pass a reused dst[:0] to
+// avoid allocating; dst must not share backing with cands).
+func bestByReward(ep *mdp.Episode, cands []int, dst []int) []int {
 	best := 0.0
-	var ties []int
+	ties := dst
 	for i, c := range cands {
 		r := ep.Reward(c)
 		switch {
@@ -506,7 +522,7 @@ func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude 
 			if !allowed(a) || !typeOK(a) {
 				return false
 			}
-			tr := ep.Transition(a)
+			tr := ep.TransitionScratch(a)
 			return tr.PrereqOK && tr.ThemeOK
 		}); ok {
 			return e, true
@@ -550,7 +566,7 @@ func (p *Policy) RankActions(env *mdp.Env, ep *mdp.Episode, k int, exclude func(
 			continue
 		}
 		r := ep.Reward(a)
-		tr := ep.Transition(a)
+		tr := ep.TransitionScratch(a)
 		tier := 4
 		switch {
 		case typeOK(a) && r > 0:

@@ -93,13 +93,27 @@ func Matches(c []bool) int {
 // Sim computes Sim(s, I)^k (Equation 6) for a sequence of item types
 // against one ideal permutation. It returns 0 for an empty sequence.
 // The value ranges over [0, k]; a full-length perfect match scores k.
+// ζ and Σc[j] are computed in one pass without materializing the match
+// vector — Sim sits inside every Equation 2 evaluation, so it must not
+// allocate (see MatchVector/Zeta/Matches for the vector form).
 func Sim(seq, ideal []item.Type) float64 {
 	k := len(seq)
 	if k == 0 {
 		return 0
 	}
-	c := MatchVector(seq, ideal)
-	return float64(Zeta(c)) * float64(Matches(c)) / float64(k)
+	matches, zeta, run := 0, 0, 0
+	for j, t := range seq {
+		if j < len(ideal) && t == ideal[j] {
+			matches++
+			run++
+			if run > zeta {
+				zeta = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return float64(zeta) * float64(matches) / float64(k)
 }
 
 // AvgSim computes AvgSim(s, IT)^k (Equation 7): the mean of Sim over every
