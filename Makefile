@@ -1,8 +1,9 @@
 GO ?= go
 
-# Packages exercising the worker pool and the scratch-buffer hot path —
-# the ones worth a race pass on every change.
-RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/...
+# Packages exercising the worker pool, the scratch-buffer hot path and
+# the singleflight serving path — the ones worth a race pass on every
+# change.
+RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/...
 
 .PHONY: check vet build test race bench-hot bench-json
 

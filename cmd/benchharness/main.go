@@ -5,7 +5,10 @@
 //
 //	benchharness [-exp all|fig1a,fig1b,tab4,tab5,tab7,tab8,tab9..tab16,fig2]
 //	             [-runs 10] [-episodes 0] [-seed 1] [-quick]
-//	             [-workers 0] [-benchjson dir]
+//	             [-workers 0] [-benchjson dir] [-list-engines]
+//
+// -list-engines prints the registered planning engines the experiments
+// route through and exits.
 //
 // -quick trades fidelity for speed (3 runs, 150 episodes); the default
 // reproduces the paper's 10-run averages at the Table III episode counts.
@@ -25,6 +28,7 @@ import (
 	"runtime"
 	"strings"
 
+	"github.com/rlplanner/rlplanner"
 	"github.com/rlplanner/rlplanner/internal/experiments"
 	"github.com/rlplanner/rlplanner/internal/plot"
 	"github.com/rlplanner/rlplanner/internal/stats"
@@ -40,8 +44,16 @@ func main() {
 		charts    = flag.Bool("charts", false, "render Figures 1 and 2 as text charts too")
 		workers   = flag.Int("workers", 0, "concurrent runs per experiment (0 = GOMAXPROCS, 1 = sequential)")
 		benchjson = flag.String("benchjson", "", "directory for BENCH_<id>.json perf records (empty = off)")
+		listEng   = flag.Bool("list-engines", false, "list registered planning engines and exit")
 	)
 	flag.Parse()
+
+	if *listEng {
+		for _, name := range rlplanner.Engines() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Runs: *runs, BaseSeed: *seed, Episodes: *episodes, Workers: *workers}
 	if *quick {

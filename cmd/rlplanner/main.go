@@ -4,19 +4,23 @@
 // Usage:
 //
 //	rlplanner -list
+//	rlplanner -engines
 //	rlplanner -instance "Univ-1 M.S. DS-CT" [-start "CS 675"] [-episodes 500]
 //	          [-min-sim] [-seed 1] [-save policy.gob | -load policy.gob]
-//	          [-baseline eda|omega|gold] [-rate] [-items]
+//	          [-engine sarsa|qlearning|valueiter|eda|omega|gold] [-rate] [-items]
 //	rlplanner -instance NYC -transfer Paris
 //
-// With -baseline the named baseline plans instead of RL-Planner; with
-// -transfer the policy learned on -instance is mapped onto the target
-// instance (the §IV-D case study). -rate runs the simulated 25-rater
-// panel over the produced plan.
+// -engine selects any registered planning engine (default: the paper's
+// SARSA learner); -baseline is its deprecated alias. -save writes the
+// trained policy as a versioned artifact and -load serves from one
+// without retraining. With -transfer the policy learned on -instance is
+// mapped onto the target instance (the §IV-D case study). -rate runs the
+// simulated 25-rater panel over the produced plan.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,15 +34,17 @@ import (
 func main() {
 	var (
 		list      = flag.Bool("list", false, "list built-in instances and exit")
+		engines   = flag.Bool("engines", false, "list registered planning engines and exit")
 		items     = flag.Bool("items", false, "print the instance catalog and exit")
 		instance  = flag.String("instance", "Univ-1 M.S. DS-CT", "instance name")
 		start     = flag.String("start", "", "starting item id (default: instance's)")
 		episodes  = flag.Int("episodes", 0, "learning episodes N (0 = Table III default)")
 		minSim    = flag.Bool("min-sim", false, "use the minimum-similarity reward variant")
 		seed      = flag.Int64("seed", 1, "random seed")
-		savePath  = flag.String("save", "", "save the learned policy to this file")
-		loadPath  = flag.String("load", "", "load a learned policy instead of learning")
-		baseline  = flag.String("baseline", "", "plan with a baseline: eda, omega or gold")
+		savePath  = flag.String("save", "", "save the trained policy artifact to this file")
+		loadPath  = flag.String("load", "", "load a policy artifact instead of training")
+		engineFl  = flag.String("engine", "", "planning engine (see -engines; default sarsa)")
+		baseline  = flag.String("baseline", "", "deprecated alias of -engine")
 		transfer  = flag.String("transfer", "", "transfer the learned policy to this instance")
 		rate      = flag.Bool("rate", false, "run the simulated rater panel on the plan")
 		repl      = flag.Bool("interactive", false, "plan step by step: accept/reject suggestions")
@@ -56,6 +62,12 @@ func main() {
 			}
 			fmt.Printf("%-28s %-6s %3d items, start %q\n",
 				in.Name(), kind, in.NumItems(), in.DefaultStart())
+		}
+		return
+	}
+	if *engines {
+		for _, name := range rlplanner.Engines() {
+			fmt.Println(name)
 		}
 		return
 	}
@@ -83,18 +95,20 @@ func main() {
 		MaxDistanceKm:     *maxDist,
 	}
 
+	choice := *engineFl
+	if choice == "" {
+		choice = *baseline
+	}
+	engineName, err := rlplanner.EngineName(choice)
+	check(err)
+
 	var plan *rlplanner.Plan
-	switch *baseline {
-	case "eda":
-		plan, err = rlplanner.EDABaseline(inst, opts)
-		check(err)
-	case "omega":
-		plan, err = rlplanner.OmegaBaseline(inst, opts)
-		check(err)
-	case "gold":
-		plan, err = rlplanner.GoldStandard(inst)
-		check(err)
-	case "":
+	if *transfer != "" {
+		// The §IV-D case study maps a learned Q table onto another
+		// catalog; it runs on the mutable SARSA planner facade.
+		if engineName != "sarsa" {
+			check(fmt.Errorf("-transfer supports the sarsa engine only (got %s)", engineName))
+		}
 		p, err := rlplanner.NewPlanner(inst, opts)
 		check(err)
 		if *loadPath != "" {
@@ -112,23 +126,43 @@ func main() {
 			check(f.Close())
 			fmt.Printf("policy saved to %s\n", *savePath)
 		}
-		if *transfer != "" {
-			target, err := rlplanner.InstanceByName(*transfer)
+		target, err := rlplanner.InstanceByName(*transfer)
+		check(err)
+		moved, err := p.Transfer(target, rlplanner.Options{Seed: *seed})
+		check(err)
+		inst = target
+		plan, err = moved.Plan()
+		check(err)
+	} else {
+		// Every engine goes through the registry's train/serve split:
+		// obtain an immutable policy (trained or loaded), then recommend.
+		var pol *rlplanner.Policy
+		if *loadPath != "" {
+			f, err := os.Open(*loadPath)
 			check(err)
-			moved, err := p.Transfer(target, rlplanner.Options{Seed: *seed})
+			pol, err = rlplanner.LoadPolicyArtifact(f, inst, opts)
 			check(err)
-			inst, p = target, moved
+			f.Close()
+		} else {
+			pol, err = rlplanner.Train(context.Background(), inst, engineName, opts)
+			check(err)
+		}
+		if *savePath != "" {
+			f, err := os.Create(*savePath)
+			check(err)
+			check(pol.Save(f))
+			check(f.Close())
+			fmt.Printf("policy saved to %s\n", *savePath)
 		}
 		if *repl {
-			plan, err = interactiveLoop(p, os.Stdin, os.Stdout)
+			s, err := pol.NewSession(5)
+			check(err)
+			plan, err = interactiveLoop(s, os.Stdin, os.Stdout)
 			check(err)
 		} else {
-			plan, err = p.Plan()
+			plan, err = pol.Recommend("")
 			check(err)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown baseline %q (want eda, omega or gold)\n", *baseline)
-		os.Exit(2)
 	}
 
 	printPlan(inst, plan)
@@ -182,11 +216,7 @@ func printPlan(inst *rlplanner.Instance, plan *rlplanner.Plan) {
 //	r <n>   reject suggestion n
 //	f       finish: auto-complete the rest
 //	q       stop and evaluate the partial plan
-func interactiveLoop(p *rlplanner.Planner, in io.Reader, out io.Writer) (*rlplanner.Plan, error) {
-	s, err := p.StartSession(5)
-	if err != nil {
-		return nil, err
-	}
+func interactiveLoop(s *rlplanner.Session, in io.Reader, out io.Writer) (*rlplanner.Plan, error) {
 	sc := bufio.NewScanner(in)
 	for !s.Done() {
 		sugs := s.Suggestions()

@@ -1,33 +1,37 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"github.com/rlplanner/rlplanner"
 )
 
-// learnedPlanner builds a small planner for the REPL tests.
-func learnedPlanner(t *testing.T) *rlplanner.Planner {
+// learnedSession trains a small policy and opens a 5-suggestion session
+// for the REPL tests, mirroring what main's -interactive path does.
+func learnedSession(t *testing.T) *rlplanner.Session {
 	t.Helper()
 	inst, err := rlplanner.InstanceByName("Univ-1 M.S. DS-CT")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := rlplanner.NewPlanner(inst, rlplanner.Options{Episodes: 150, Seed: 1})
+	pol, err := rlplanner.Train(context.Background(), inst, "sarsa",
+		rlplanner.Options{Episodes: 150, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Learn(); err != nil {
+	s, err := pol.NewSession(5)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return s
 }
 
 func TestInteractiveLoopFinish(t *testing.T) {
-	p := learnedPlanner(t)
+	s := learnedSession(t)
 	var out strings.Builder
-	plan, err := interactiveLoop(p, strings.NewReader("a 1\nf\n"), &out)
+	plan, err := interactiveLoop(s, strings.NewReader("a 1\nf\n"), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,9 +44,9 @@ func TestInteractiveLoopFinish(t *testing.T) {
 }
 
 func TestInteractiveLoopQuitKeepsPartial(t *testing.T) {
-	p := learnedPlanner(t)
+	s := learnedSession(t)
 	var out strings.Builder
-	plan, err := interactiveLoop(p, strings.NewReader("a 1\nq\n"), &out)
+	plan, err := interactiveLoop(s, strings.NewReader("a 1\nq\n"), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,10 +56,10 @@ func TestInteractiveLoopQuitKeepsPartial(t *testing.T) {
 }
 
 func TestInteractiveLoopRejectsBadInput(t *testing.T) {
-	p := learnedPlanner(t)
+	s := learnedSession(t)
 	var out strings.Builder
 	// Bad number, bad command, reject without number — then finish.
-	plan, err := interactiveLoop(p, strings.NewReader("a 99\nzzz\nr\nf\n"), &out)
+	plan, err := interactiveLoop(s, strings.NewReader("a 99\nzzz\nr\nf\n"), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,14 +74,30 @@ func TestInteractiveLoopRejectsBadInput(t *testing.T) {
 }
 
 func TestInteractiveLoopEOF(t *testing.T) {
-	p := learnedPlanner(t)
+	s := learnedSession(t)
 	var out strings.Builder
-	plan, err := interactiveLoop(p, strings.NewReader(""), &out)
+	plan, err := interactiveLoop(s, strings.NewReader(""), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// EOF before any command: only the start item.
 	if len(plan.Steps) != 1 {
 		t.Fatalf("plan = %d steps", len(plan.Steps))
+	}
+}
+
+// TestSessionRequiresValueEngine pins the -interactive error path:
+// procedural engines cannot drive sessions.
+func TestSessionRequiresValueEngine(t *testing.T) {
+	inst, err := rlplanner.InstanceByName("Univ-1 M.S. DS-CT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := rlplanner.Train(context.Background(), inst, "gold", rlplanner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pol.NewSession(5); err == nil {
+		t.Fatal("NewSession on a gold policy should fail")
 	}
 }

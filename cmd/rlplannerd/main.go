@@ -1,9 +1,15 @@
 // Command rlplannerd serves RL-Planner over HTTP/JSON — the interactive
-// deployment mode of §IV-F. Endpoints:
+// deployment mode of §IV-F. Training runs behind per-key singleflight
+// into a bounded policy cache; every read endpoint stays responsive
+// while policies train. Endpoints:
 //
 //	GET  /api/instances                  list built-in instances
 //	GET  /api/instances/{name}           instance catalog
-//	POST /api/plan                       {"instance": ..., "episodes": ..., "baseline": ...}
+//	GET  /api/engines                    list registered planning engines
+//	GET  /api/policies                   list cached policies
+//	POST /api/policies/export            train and download a policy artifact
+//	POST /api/policies/import?instance=  upload an artifact for serving
+//	POST /api/plan                       {"instance": ..., "engine": ..., "episodes": ...}
 //	POST /api/rate                       {"instance": ..., "items": [...]}
 //	POST /api/sessions                   open an interactive session
 //	GET  /api/sessions/{id}              session state + suggestions
@@ -13,7 +19,7 @@
 //
 // Usage:
 //
-//	rlplannerd [-addr :8080]
+//	rlplannerd [-addr :8080] [-policy-cache 128]
 package main
 
 import (
@@ -26,10 +32,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("policy-cache", 0, "max cached policies (0 = default 128)")
 	flag.Parse()
 
+	srv := httpapi.New(httpapi.WithPolicyCacheSize(*cache))
 	log.Printf("rlplannerd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, httpapi.New().Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}
 }

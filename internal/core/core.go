@@ -26,6 +26,8 @@ type Options struct {
 	Alpha float64
 	// Gamma overrides the discount factor γ (set HasGamma for γ = 0).
 	Gamma float64
+	// HasGamma marks Gamma as intentionally set (0 is meaningful).
+	HasGamma bool
 	// Epsilon overrides the topic threshold ε (set HasEpsilon for ε = 0).
 	Epsilon float64
 	// HasEpsilon marks Epsilon as intentionally set (0 is meaningful).
@@ -151,7 +153,7 @@ func New(inst *dataset.Instance, opts Options) (*Planner, error) {
 	if opts.Alpha != 0 {
 		sc.Alpha = opts.Alpha
 	}
-	if opts.Gamma != 0 {
+	if opts.HasGamma || opts.Gamma != 0 {
 		sc.Gamma = opts.Gamma
 	}
 	if err := sc.Validate(); err != nil {

@@ -63,6 +63,26 @@ func TestNewAppliesOverrides(t *testing.T) {
 	}
 }
 
+func TestHasGammaMarksZeroIntentional(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	// Without HasGamma, γ = 0 means "keep the Table III default".
+	p, err := core.New(inst, core.Options{Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SarsaConfig().Gamma != inst.Defaults.Gamma {
+		t.Fatalf("γ = %g, want default %g", p.SarsaConfig().Gamma, inst.Defaults.Gamma)
+	}
+	// With HasGamma, γ = 0 is an explicit myopic-learner override.
+	p, err = core.New(inst, core.Options{Gamma: 0, HasGamma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SarsaConfig().Gamma != 0 {
+		t.Fatalf("γ = %g, want explicit 0", p.SarsaConfig().Gamma)
+	}
+}
+
 func TestNewRejectsBadInput(t *testing.T) {
 	if _, err := core.New(nil, core.Options{}); err == nil {
 		t.Fatal("nil instance accepted")

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/qtable"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+)
+
+const (
+	// artifactMagic guards against feeding arbitrary gob streams (or the
+	// pre-registry raw policy format) into Load.
+	artifactMagic = "rlplanner-policy"
+	// ArtifactVersion is the current artifact format version. Readers
+	// accept any version up to this one; newer versions are refused with
+	// an explicit error instead of a misdecode.
+	ArtifactVersion = 1
+)
+
+// artifact is the on-disk form of a Policy: a header identifying the
+// format, engine and training catalog, plus the engine-specific payload
+// (the flattened Q table for tabular engines, the tie-break seed for
+// procedural ones).
+type artifact struct {
+	Magic       string
+	Version     int
+	Engine      string
+	Instance    string
+	Fingerprint string
+	Items       int
+	Seed        int64
+	Q           []float64
+	IDs         []string
+}
+
+// artifactFor snapshots a policy. values is nil for procedural engines.
+func artifactFor(m meta, values *sarsa.Policy, seed int64) artifact {
+	a := artifact{
+		Magic:       artifactMagic,
+		Version:     ArtifactVersion,
+		Engine:      m.engine,
+		Instance:    m.instance,
+		Fingerprint: m.fp,
+		Seed:        seed,
+	}
+	if values != nil {
+		n := values.Q.Size()
+		a.Items = n
+		a.IDs = values.IDs
+		a.Q = make([]float64, 0, n*n)
+		for s := 0; s < n; s++ {
+			a.Q = append(a.Q, values.Q.Row(s)...)
+		}
+	}
+	return a
+}
+
+func saveArtifact(w io.Writer, a artifact) error {
+	return gob.NewEncoder(w).Encode(a)
+}
+
+// decodeArtifact reads and sanity-checks an artifact header against the
+// target instance.
+func decodeArtifact(r io.Reader, inst *dataset.Instance) (artifact, error) {
+	var a artifact
+	if err := gob.NewDecoder(r).Decode(&a); err != nil {
+		return a, fmt.Errorf("engine: decode policy artifact: %w", err)
+	}
+	if a.Magic != artifactMagic {
+		return a, fmt.Errorf("engine: not an RL-Planner policy artifact (magic %q)", a.Magic)
+	}
+	if a.Version > ArtifactVersion {
+		return a, fmt.Errorf("engine: policy artifact format v%d is newer than supported v%d — upgrade the reader",
+			a.Version, ArtifactVersion)
+	}
+	if fp := Fingerprint(inst); a.Fingerprint != fp {
+		return a, fmt.Errorf("engine: policy was trained on %q (catalog fingerprint %s) but target instance %q has fingerprint %s — refusing to replay it against a different catalog",
+			a.Instance, a.Fingerprint, inst.Name, fp)
+	}
+	return a, nil
+}
+
+// restoreValues rebuilds the Q-table policy of a tabular artifact.
+func restoreValues(a artifact, inst *dataset.Instance) (*sarsa.Policy, error) {
+	if a.Items <= 0 || len(a.Q) != a.Items*a.Items {
+		return nil, fmt.Errorf("engine: corrupt %s artifact (n=%d, %d values)", a.Engine, a.Items, len(a.Q))
+	}
+	if a.Items != inst.Catalog.Len() {
+		return nil, fmt.Errorf("engine: policy covers %d items, instance %q has %d", a.Items, inst.Name, inst.Catalog.Len())
+	}
+	q := qtable.New(a.Items)
+	for s := 0; s < a.Items; s++ {
+		for e := 0; e < a.Items; e++ {
+			q.Set(s, e, a.Q[s*a.Items+e])
+		}
+	}
+	return &sarsa.Policy{Q: q, IDs: a.IDs}, nil
+}
+
+// Load restores a policy artifact against an instance. opts rebind the
+// environment (reward configuration, start item, thresholds) exactly as
+// they would for training; the learned values themselves come from the
+// artifact. Procedural engines (EDA, OMEGA, gold) carry no values — their
+// construction is re-run, seeded from the artifact.
+func Load(r io.Reader, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	a, err := decodeArtifact(r, inst)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lookup(a.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Tabular {
+		opts.Seed = a.Seed
+		return d.Train(context.Background(), inst, opts)
+	}
+	values, err := restoreValues(a, inst)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &valuePolicy{
+		meta:   metaFor(d.Name, inst, p.Env().Hard()),
+		env:    p.Env(),
+		start:  p.SarsaConfig().Start,
+		values: values,
+	}, nil
+}
+
+// SaveValues writes a bare Q-table policy as an artifact of the named
+// engine — the bridge for callers that hold a *sarsa.Policy directly
+// (the public Planner facade, transfer learning).
+func SaveValues(w io.Writer, engineName string, inst *dataset.Instance, values *sarsa.Policy) error {
+	if values == nil || values.Q == nil {
+		return fmt.Errorf("engine: nil policy values")
+	}
+	d, err := lookup(engineName)
+	if err != nil {
+		return err
+	}
+	if !d.Tabular {
+		return fmt.Errorf("engine %s: procedural policies carry no values", d.Name)
+	}
+	return saveArtifact(w, artifactFor(metaFor(d.Name, inst, inst.Hard), values, 0))
+}
+
+// LoadValues reads an artifact and returns its raw Q-table policy after
+// the fingerprint check, for callers that manage their own environment.
+// It refuses procedural artifacts.
+func LoadValues(r io.Reader, inst *dataset.Instance) (*sarsa.Policy, error) {
+	a, err := decodeArtifact(r, inst)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lookup(a.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Tabular {
+		return nil, fmt.Errorf("engine %s: artifact is procedural, it carries no Q values", d.Name)
+	}
+	return restoreValues(a, inst)
+}

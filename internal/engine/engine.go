@@ -1,0 +1,91 @@
+// Package engine is the unified solver layer of the repository: one
+// abstraction over every planner the paper evaluates (the SARSA core of
+// Algorithm 1, its Q-learning variant, the value-iteration solver, and
+// the EDA / OMEGA / gold baselines of §IV-A2).
+//
+// The central split is train versus serve. A Planner is a solver bound to
+// one (instance, options) pair; Train produces a Policy — an immutable,
+// versioned, serializable artifact that recommends plans without any
+// further learning. Policies are safe to share across goroutines, which
+// is what the HTTP serving path relies on: train once behind a
+// singleflight, then serve many concurrent Recommend calls from the same
+// artifact (the deployment shape of §IV-F, thousands of users per
+// learned policy).
+//
+// Solvers register themselves in a name-keyed registry (registry.go), so
+// the HTTP API, the CLIs and the experiment harness all dispatch through
+// New/Train instead of hand-rolled string switches.
+package engine
+
+import (
+	"context"
+	"io"
+
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+)
+
+// DefaultStart asks Recommend to use the start item the policy was
+// trained with (Options.Start, falling back to the instance default).
+const DefaultStart = -1
+
+// Planner is the training side of a solver: one engine bound to one
+// (instance, options) configuration.
+type Planner interface {
+	// Engine returns the canonical registry name of the solver.
+	Engine() string
+	// Train runs the learning (or construction) phase and returns the
+	// immutable policy artifact. The context is consulted between
+	// coarse-grained phases; a training run that has already started its
+	// inner loop completes it.
+	Train(ctx context.Context) (Policy, error)
+}
+
+// Policy is a trained, immutable recommendation artifact. All methods
+// are safe for concurrent use; a Policy never mutates after Train.
+type Policy interface {
+	// Engine returns the canonical name of the solver that produced the
+	// policy.
+	Engine() string
+	// Instance returns the name of the instance the policy was trained on.
+	Instance() string
+	// Fingerprint identifies the catalog the policy was trained on; Load
+	// refuses artifacts whose fingerprint does not match the target
+	// instance.
+	Fingerprint() string
+	// Hard returns the effective hard constraints the policy was trained
+	// under (options may have overridden the instance defaults).
+	Hard() constraints.Hard
+	// Recommend walks the policy from a start item index (DefaultStart
+	// uses the trained start) and returns the recommended sequence of
+	// catalog indices.
+	Recommend(start int) ([]int, error)
+	// Save writes the policy as a versioned, fingerprinted artifact that
+	// Load can restore.
+	Save(w io.Writer) error
+}
+
+// ValuePolicy is implemented by policies backed by a learned Q table
+// (SARSA, Q-learning, value iteration). Interactive sessions and transfer
+// need the underlying table and environment.
+type ValuePolicy interface {
+	Policy
+	// Env returns the MDP environment the policy was trained in.
+	Env() *mdp.Env
+	// Values returns the learned action-value policy.
+	Values() *sarsa.Policy
+	// Start returns the trained start item index.
+	Start() int
+	// LearningCurve returns per-episode returns (nil for solvers without
+	// an episodic learning loop).
+	LearningCurve() []float64
+}
+
+// Converger is implemented by policies that track solver convergence
+// (value iteration reports its sweep count).
+type Converger interface {
+	// Iterations returns the number of solver iterations until
+	// convergence.
+	Iterations() int
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+)
+
+// quick keeps learner-based tests fast.
+var quick = core.Options{Episodes: 120, Seed: 1}
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"eda", "gold", "omega", "qlearning", "sarsa", "valueiter"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestCanonicalAliases(t *testing.T) {
+	cases := map[string]string{
+		"":                "sarsa", // default engine
+		"rl":              "sarsa",
+		"SARSA":           "sarsa", // case-insensitive
+		"q-learning":      "qlearning",
+		"vi":              "valueiter",
+		"value-iteration": "valueiter",
+		"eda":             "eda",
+	}
+	for in, want := range cases {
+		got, err := Canonical(in)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	_, err := Train(context.Background(), "oracle", univ.Univ1DSCT(), core.Options{})
+	if err == nil {
+		t.Fatal("training an unknown engine should fail")
+	}
+	if !strings.Contains(err.Error(), "unknown engine") || !strings.Contains(err.Error(), "sarsa") {
+		t.Fatalf("error should name the registry contents: %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d, err := Describe("vi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "valueiter" || !d.Tabular || d.Doc == "" {
+		t.Fatalf("Describe(vi) = %+v", d)
+	}
+	if d, _ := Describe("gold"); d.Tabular {
+		t.Fatal("gold must be procedural")
+	}
+}
+
+// TestAllEnginesTrainAndRecommend proves every registered engine produces
+// an immutable policy whose repeated recommendations are identical.
+func TestAllEnginesTrainAndRecommend(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	for _, name := range Names() {
+		pol, err := Train(context.Background(), name, inst, quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pol.Engine() != name {
+			t.Fatalf("policy engine = %q, want %q", pol.Engine(), name)
+		}
+		if pol.Fingerprint() != Fingerprint(inst) {
+			t.Fatalf("%s: fingerprint mismatch", name)
+		}
+		a, err := pol.Recommend(DefaultStart)
+		if err != nil {
+			t.Fatalf("%s recommend: %v", name, err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty plan", name)
+		}
+		b, err := pol.Recommend(DefaultStart)
+		if err != nil {
+			t.Fatalf("%s recommend (2nd): %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: recommendations drift between calls: %v vs %v", name, a, b)
+		}
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Train(ctx, "sarsa", univ.Univ1DSCT(), quick); err == nil {
+		t.Fatal("training under a canceled context should fail")
+	}
+}
+
+// TestArtifactRoundTrip is the tentpole invariant: save → load must
+// reproduce bit-identical recommendations for every engine.
+func TestArtifactRoundTrip(t *testing.T) {
+	inst := univ.Univ1DSCT()
+	for _, name := range Names() {
+		opts := quick
+		opts.Seed = 7
+		pol, err := Train(context.Background(), name, inst, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := pol.Recommend(DefaultStart)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := pol.Save(&buf); err != nil {
+			t.Fatalf("%s save: %v", name, err)
+		}
+		loaded, err := Load(&buf, inst, opts)
+		if err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		if loaded.Engine() != name {
+			t.Fatalf("loaded engine = %q, want %q", loaded.Engine(), name)
+		}
+		got, err := loaded.Recommend(DefaultStart)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: loaded policy recommends %v, trained one %v", name, got, want)
+		}
+	}
+}
+
+func TestArtifactRejectsGarbage(t *testing.T) {
+	_, err := Load(strings.NewReader("not a gob stream"), univ.Univ1DSCT(), core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "decode policy artifact") {
+		t.Fatalf("garbage input: %v", err)
+	}
+}
+
+func TestArtifactRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(artifact{Magic: "someone-elses-format"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf, univ.Univ1DSCT(), core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "not an RL-Planner policy artifact") {
+		t.Fatalf("wrong magic: %v", err)
+	}
+}
+
+func TestArtifactRejectsNewerVersion(t *testing.T) {
+	var buf bytes.Buffer
+	a := artifact{Magic: artifactMagic, Version: ArtifactVersion + 1, Engine: "sarsa"}
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf, univ.Univ1DSCT(), core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Fatalf("newer version: %v", err)
+	}
+}
+
+func TestArtifactRejectsFingerprintMismatch(t *testing.T) {
+	trained := univ.Univ1DSCT()
+	pol, err := Train(context.Background(), "sarsa", trained, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pol.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(&buf, univ.Univ2DS(), core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "different catalog") {
+		t.Fatalf("fingerprint mismatch: %v", err)
+	}
+	if !strings.Contains(err.Error(), trained.Name) {
+		t.Fatalf("error should name the training instance: %v", err)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, b := univ.Univ1DSCT(), univ.Univ2DS()
+	if Fingerprint(a) != Fingerprint(a) {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("different catalogs share a fingerprint")
+	}
+	if len(Fingerprint(a)) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex chars", Fingerprint(a))
+	}
+}
+
+func TestLoadValuesRefusesProcedural(t *testing.T) {
+	pol, err := Train(context.Background(), "gold", univ.Univ1DSCT(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pol.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadValues(&buf, univ.Univ1DSCT()); err == nil {
+		t.Fatal("LoadValues should refuse a procedural artifact")
+	}
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"github.com/rlplanner/rlplanner/internal/dataset"
+)
+
+// Fingerprint identifies an instance's catalog: the item ids, their
+// roles, credits and topic coverage, plus the instance kind. A policy
+// artifact records the fingerprint of the catalog it was trained on and
+// Load refuses to install it against a different one — the Q table's
+// indices would silently mean different items otherwise.
+//
+// The instance *name* is deliberately excluded: two instances with
+// identical catalogs are interchangeable for a policy.
+func Fingerprint(inst *dataset.Instance) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	writeInt(uint64(inst.Kind))
+	c := inst.Catalog
+	writeInt(uint64(c.Len()))
+	for i := 0; i < c.Len(); i++ {
+		m := c.At(i)
+		writeStr(m.ID)
+		writeInt(uint64(m.Type))
+		writeInt(math.Float64bits(m.Credits))
+		for _, t := range m.Topics.Indices() {
+			writeInt(uint64(t))
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}

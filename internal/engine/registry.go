@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+)
+
+// TrainFunc runs one solver's training phase for a bound configuration.
+type TrainFunc func(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error)
+
+// Descriptor registers one solver.
+type Descriptor struct {
+	// Name is the canonical registry key ("sarsa", "eda", …).
+	Name string
+	// Aliases are alternative lookup names ("rl" for "sarsa", "vi" for
+	// "valueiter", …). The empty string may alias the default engine.
+	Aliases []string
+	// Doc is a one-line description for discovery endpoints.
+	Doc string
+	// Tabular marks engines whose policies serialize their Q values;
+	// procedural engines (EDA, OMEGA, gold) re-run their construction
+	// when an artifact is loaded.
+	Tabular bool
+	// Train runs the solver.
+	Train TrainFunc
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]*Descriptor
+	names  []string // canonical names, registration order
+}{byName: map[string]*Descriptor{}}
+
+// Register adds a solver to the registry. It panics on a duplicate name
+// or alias — registration is an init-time wiring error, not a runtime
+// condition.
+func Register(d Descriptor) {
+	if d.Name == "" || d.Train == nil {
+		panic("engine: Register needs a name and a Train func")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	for _, key := range append([]string{d.Name}, d.Aliases...) {
+		key = strings.ToLower(key)
+		if _, dup := registry.byName[key]; dup {
+			panic(fmt.Sprintf("engine: duplicate registration for %q", key))
+		}
+		dd := d
+		registry.byName[key] = &dd
+	}
+	registry.names = append(registry.names, d.Name)
+}
+
+// lookup resolves a (case-insensitive) name or alias.
+func lookup(name string) (*Descriptor, error) {
+	registry.RLock()
+	d, ok := registry.byName[strings.ToLower(name)]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return d, nil
+}
+
+// Canonical resolves a name or alias to the canonical engine name, so
+// cache keys built from user input collapse "vi", "value-iteration" and
+// "valueiter" onto one entry.
+func Canonical(name string) (string, error) {
+	d, err := lookup(name)
+	if err != nil {
+		return "", err
+	}
+	return d.Name, nil
+}
+
+// Names returns the canonical engine names, sorted.
+func Names() []string {
+	registry.RLock()
+	out := append([]string(nil), registry.names...)
+	registry.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the registered descriptor for a name or alias.
+func Describe(name string) (Descriptor, error) {
+	d, err := lookup(name)
+	if err != nil {
+		return Descriptor{}, err
+	}
+	return *d, nil
+}
+
+// binding is a solver bound to one (instance, options) pair.
+type binding struct {
+	d    *Descriptor
+	inst *dataset.Instance
+	opts core.Options
+}
+
+// New binds the named engine to an instance and options. The returned
+// Planner trains policies for exactly that configuration.
+func New(name string, inst *dataset.Instance, opts core.Options) (Planner, error) {
+	d, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if inst == nil {
+		return nil, fmt.Errorf("engine %s: nil instance", d.Name)
+	}
+	return &binding{d: d, inst: inst, opts: opts}, nil
+}
+
+func (b *binding) Engine() string { return b.d.Name }
+
+func (b *binding) Train(ctx context.Context) (Policy, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine %s: %w", b.d.Name, err)
+	}
+	return b.d.Train(ctx, b.inst, b.opts)
+}
+
+// Train is the one-shot convenience: bind the named engine and train.
+func Train(ctx context.Context, name string, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	p, err := New(name, inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Train(ctx)
+}

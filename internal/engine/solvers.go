@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"io"
+
+	"github.com/rlplanner/rlplanner/internal/baselines/eda"
+	"github.com/rlplanner/rlplanner/internal/baselines/gold"
+	"github.com/rlplanner/rlplanner/internal/baselines/omega"
+	"github.com/rlplanner/rlplanner/internal/constraints"
+	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/sarsa"
+	"github.com/rlplanner/rlplanner/internal/valueiter"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:    "sarsa",
+		Aliases: []string{"", "rl", "rl-planner"},
+		Doc:     "SARSA learner of Algorithm 1 (the paper's RL-Planner)",
+		Tabular: true,
+		Train:   trainTD(sarsa.SARSA),
+	})
+	Register(Descriptor{
+		Name:    "qlearning",
+		Aliases: []string{"q-learning", "q"},
+		Doc:     "off-policy Q-learning variant of the Algorithm 1 learner",
+		Tabular: true,
+		Train:   trainTD(sarsa.QLearning),
+	})
+	Register(Descriptor{
+		Name:    "valueiter",
+		Aliases: []string{"value-iteration", "vi"},
+		Doc:     "value iteration over the item-pair abstraction (§III-C alternative)",
+		Tabular: true,
+		Train:   trainValueIter,
+	})
+	Register(Descriptor{
+		Name:  "eda",
+		Doc:   "greedy next-step EDA baseline (§IV-A2)",
+		Train: trainEDA,
+	})
+	Register(Descriptor{
+		Name:  "omega",
+		Doc:   "adapted OMEGA co-coverage baseline (§IV-A2)",
+		Train: trainOmega,
+	})
+	Register(Descriptor{
+		Name:  "gold",
+		Doc:   "gold-standard plan synthesizer (§IV-A2)",
+		Train: trainGold,
+	})
+}
+
+// meta carries the identity every policy shares.
+type meta struct {
+	engine   string
+	instance string
+	fp       string
+	hard     constraints.Hard
+}
+
+func (m meta) Engine() string         { return m.engine }
+func (m meta) Instance() string       { return m.instance }
+func (m meta) Fingerprint() string    { return m.fp }
+func (m meta) Hard() constraints.Hard { return m.hard }
+
+func metaFor(engine string, inst *dataset.Instance, hard constraints.Hard) meta {
+	return meta{engine: engine, instance: inst.Name, fp: Fingerprint(inst), hard: hard}
+}
+
+// valuePolicy is the artifact of the tabular solvers: an immutable Q
+// table plus the environment it was trained in.
+type valuePolicy struct {
+	meta
+	env        *mdp.Env
+	start      int
+	values     *sarsa.Policy
+	curve      []float64
+	iterations int
+}
+
+func (p *valuePolicy) Recommend(start int) ([]int, error) {
+	if start == DefaultStart {
+		start = p.start
+	}
+	return p.values.RecommendGuided(p.env, start)
+}
+
+func (p *valuePolicy) Env() *mdp.Env            { return p.env }
+func (p *valuePolicy) Values() *sarsa.Policy    { return p.values }
+func (p *valuePolicy) Start() int               { return p.start }
+func (p *valuePolicy) LearningCurve() []float64 { return p.curve }
+func (p *valuePolicy) Iterations() int          { return p.iterations }
+
+func (p *valuePolicy) Save(w io.Writer) error {
+	return saveArtifact(w, artifactFor(p.meta, p.values, 0))
+}
+
+// walkPolicy is the artifact of the procedural baselines: the walk is
+// recomputed per Recommend from the immutable environment, so one policy
+// serves concurrent requests.
+type walkPolicy struct {
+	meta
+	start int
+	seed  int64
+	walk  func(start int) ([]int, error)
+}
+
+func (p *walkPolicy) Recommend(start int) ([]int, error) {
+	if start == DefaultStart {
+		start = p.start
+	}
+	return p.walk(start)
+}
+
+func (p *walkPolicy) Save(w io.Writer) error {
+	return saveArtifact(w, artifactFor(p.meta, nil, p.seed))
+}
+
+// trainTD builds the SARSA/Q-learning training funcs. The engine name
+// fixes the TD rule; Options.Algorithm is overridden so "sarsa" always
+// means SARSA regardless of caller options.
+func trainTD(alg sarsa.Algorithm) TrainFunc {
+	name := "sarsa"
+	if alg == sarsa.QLearning {
+		name = "qlearning"
+	}
+	return func(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+		opts.Algorithm = alg
+		p, err := core.New(inst, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := p.Learn(); err != nil {
+			return nil, err
+		}
+		return &valuePolicy{
+			meta:   metaFor(name, inst, p.Env().Hard()),
+			env:    p.Env(),
+			start:  p.SarsaConfig().Start,
+			values: p.Policy(),
+			curve:  p.LearningCurve(),
+		}, nil
+	}
+}
+
+func trainValueIter(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	p, err := core.New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Value iteration needs γ < 1 to converge; the resolved SARSA config
+	// carries the effective γ (option override or Table III default).
+	gamma := p.SarsaConfig().Gamma
+	if gamma >= 1 {
+		gamma = 0.95
+	}
+	res, err := valueiter.Solve(p.Env(), valueiter.Config{Gamma: gamma, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &valuePolicy{
+		meta:       metaFor("valueiter", inst, p.Env().Hard()),
+		env:        p.Env(),
+		start:      p.SarsaConfig().Start,
+		values:     res.Policy,
+		iterations: res.Iterations,
+	}, nil
+}
+
+func trainEDA(_ context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	p, err := core.New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	env, seed := p.Env(), opts.Seed
+	return &walkPolicy{
+		meta:  metaFor("eda", inst, env.Hard()),
+		start: p.SarsaConfig().Start,
+		seed:  seed,
+		walk:  func(start int) ([]int, error) { return eda.Plan(env, start, seed) },
+	}, nil
+}
+
+func trainOmega(_ context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	p, err := core.New(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	env := p.Env()
+	// The co-coverage utility matrix is start-independent: compute it once
+	// at train time, share it across Recommend calls.
+	m := omega.CoCoverage(env.Catalog())
+	return &walkPolicy{
+		meta:  metaFor("omega", inst, env.Hard()),
+		start: p.SarsaConfig().Start,
+		walk:  func(start int) ([]int, error) { return omega.PlanUtility(env, start, m) },
+	}, nil
+}
+
+func trainGold(_ context.Context, inst *dataset.Instance, _ core.Options) (Policy, error) {
+	// The gold synthesizer is the pure train-once case: the plan does not
+	// depend on the start item, so Train computes it and Recommend only
+	// copies it out.
+	seq, err := gold.Plan(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &walkPolicy{
+		meta:  metaFor("gold", inst, inst.Hard),
+		start: inst.StartIndex(),
+		walk:  func(int) ([]int, error) { return append([]int(nil), seq...), nil },
+	}, nil
+}

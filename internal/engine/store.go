@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// DefaultStoreSize bounds the policy cache when no explicit size is
+// configured.
+const DefaultStoreSize = 128
+
+// Store is the serving-side policy cache: a bounded LRU of immutable
+// artifacts with per-key singleflight training. Concurrent requests for
+// the same cold key share one training run; requests for different keys
+// train in parallel; cached reads never wait on any training run.
+//
+// Store is generic over the cached value so layers above the engine can
+// cache their own policy wrappers.
+type Store[V any] struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	calls   map[string]*call[V]
+}
+
+type storeEntry[V any] struct {
+	key string
+	val V
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewStore builds a store holding at most maxEntries policies
+// (DefaultStoreSize when maxEntries <= 0).
+func NewStore[V any](maxEntries int) *Store[V] {
+	if maxEntries <= 0 {
+		maxEntries = DefaultStoreSize
+	}
+	return &Store[V]{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		calls:   make(map[string]*call[V]),
+	}
+}
+
+// Cached returns the policy for key without ever blocking on training.
+func (s *Store[V]) Cached(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cachedLocked(key)
+}
+
+func (s *Store[V]) cachedLocked(key string) (V, bool) {
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*storeEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add installs a policy under key (used by artifact import), evicting
+// the least recently used entry when the store is full.
+func (s *Store[V]) Add(key string, v V) {
+	s.mu.Lock()
+	s.addLocked(key, v)
+	s.mu.Unlock()
+}
+
+func (s *Store[V]) addLocked(key string, v V) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*storeEntry[V]).val = v
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.order.PushFront(&storeEntry[V]{key: key, val: v})
+	for s.order.Len() > s.max {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*storeEntry[V]).key)
+	}
+}
+
+// GetOrTrain returns the cached policy for key, or trains it. Exactly
+// one caller per key runs train at a time; the others wait for its
+// result (or their context). The trained result is cached on success;
+// errors are not cached, so a later request retries. The returned bool
+// reports whether this call ran the training itself.
+func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, error)) (V, bool, error) {
+	var zero V
+	s.mu.Lock()
+	if v, ok := s.cachedLocked(key); ok {
+		s.mu.Unlock()
+		return v, false, nil
+	}
+	if c, ok := s.calls[key]; ok {
+		// Follower: wait for the in-flight training run without holding
+		// the lock, so cached reads stay available meanwhile.
+		s.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, false, c.err
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	s.calls[key] = c
+	s.mu.Unlock()
+
+	// Leader: train outside the lock. The deferred cleanup also covers a
+	// panicking trainer, so followers are never stranded on done.
+	finished := false
+	defer func() {
+		if !finished && c.err == nil {
+			c.err = fmt.Errorf("engine: training for %q aborted", key)
+		}
+		s.mu.Lock()
+		delete(s.calls, key)
+		if c.err == nil {
+			s.addLocked(key, c.val)
+		}
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = train()
+	finished = true
+	return c.val, true, c.err
+}
+
+// Len returns the number of cached policies.
+func (s *Store[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Keys returns the cached keys, most recently used first.
+func (s *Store[V]) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storeEntry[V]).key)
+	}
+	return out
+}

@@ -1,16 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/engine"
 	"github.com/rlplanner/rlplanner/internal/eval"
 	"github.com/rlplanner/rlplanner/internal/sarsa"
 	"github.com/rlplanner/rlplanner/internal/seqsim"
 	"github.com/rlplanner/rlplanner/internal/stats"
-	"github.com/rlplanner/rlplanner/internal/valueiter"
 )
 
 // AblationRow is one variant of one design dimension, measured on the
@@ -35,7 +36,11 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	inst := univ.Univ1DSCT()
 	var rows []AblationRow
 
-	runRL := func(dim, variant string, opts core.Options, raw bool) error {
+	// runRL trains the named registry engine per seed and measures score,
+	// construction time and learning-curve convergence. The raw variant
+	// replays the plain Algorithm 1 walk over the trained values instead
+	// of the guided recommendation.
+	runRL := func(dim, variant, engineName string, opts core.Options, raw bool) error {
 		scores := make([]float64, cfg.Runs)
 		times := make([]time.Duration, cfg.Runs)
 		convs := make([]int, cfg.Runs)
@@ -45,26 +50,24 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			if cfg.Episodes > 0 {
 				o.Episodes = cfg.Episodes
 			}
-			p, err := core.New(inst, o)
+			t0 := time.Now()
+			pol, err := engine.Train(context.Background(), engineName, inst, o)
 			if err != nil {
 				return err
 			}
-			t0 := time.Now()
-			if err := p.Learn(); err != nil {
-				return err
-			}
 			times[r] = time.Since(t0)
+			vp := pol.(engine.ValuePolicy)
 			var plan []int
 			if raw {
-				plan, err = p.PlanRaw(inst.StartIndex())
+				plan, err = vp.Values().Recommend(vp.Env(), inst.StartIndex())
 			} else {
-				plan, err = p.Plan()
+				plan, err = pol.Recommend(engine.DefaultStart)
 			}
 			if err != nil {
 				return err
 			}
 			scores[r] = eval.Score(inst, plan)
-			convs[r] = stats.ConvergedAt(p.LearningCurve(), 40, 2.0)
+			convs[r] = stats.ConvergedAt(vp.LearningCurve(), 40, 2.0)
 			return nil
 		})
 		if err != nil {
@@ -95,51 +98,49 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	// Similarity aggregation (the paper runs avg and min everywhere; the
 	// lev variant swaps in the true edit distance).
 	for _, m := range []seqsim.Mode{seqsim.Average, seqsim.Minimum, seqsim.LevenshteinAverage} {
-		if err := runRL("similarity", m.String(), core.Options{Sim: m, HasSim: true}, false); err != nil {
+		if err := runRL("similarity", m.String(), "sarsa", core.Options{Sim: m, HasSim: true}, false); err != nil {
 			return nil, err
 		}
 	}
 	// Action selection during learning.
 	for _, sel := range []sarsa.Selection{sarsa.RewardGreedy, sarsa.QGreedy} {
-		if err := runRL("selection", sel.String(), core.Options{Selection: sel}, false); err != nil {
+		if err := runRL("selection", sel.String(), "sarsa", core.Options{Selection: sel}, false); err != nil {
 			return nil, err
 		}
 	}
-	// TD algorithm.
-	for _, alg := range []sarsa.Algorithm{sarsa.SARSA, sarsa.QLearning} {
-		if err := runRL("algorithm", alg.String(), core.Options{Algorithm: alg}, false); err != nil {
+	// TD algorithm: the registry name picks the update rule.
+	for _, name := range []string{"sarsa", "qlearning"} {
+		if err := runRL("algorithm", name, name, core.Options{}, false); err != nil {
 			return nil, err
 		}
 	}
 	// Recommendation walk.
-	if err := runRL("walk", "guided", core.Options{}, false); err != nil {
+	if err := runRL("walk", "guided", "sarsa", core.Options{}, false); err != nil {
 		return nil, err
 	}
-	if err := runRL("walk", "raw (Algorithm 1)", core.Options{}, true); err != nil {
+	if err := runRL("walk", "raw (Algorithm 1)", "sarsa", core.Options{}, true); err != nil {
 		return nil, err
 	}
 
-	// Solver: value iteration on the same abstraction.
-	p, err := core.New(inst, core.Options{Seed: cfg.BaseSeed})
-	if err != nil {
-		return nil, err
-	}
+	// Solver: value iteration on the same abstraction (γ = 0.95, as the
+	// pre-registry ablation ran it).
 	viScores := make([]float64, cfg.Runs)
 	viTimes := make([]time.Duration, cfg.Runs)
 	viIterPerRun := make([]int, cfg.Runs)
-	err = forEach(cfg.workers(), cfg.Runs, func(r int) error {
+	err := forEach(cfg.workers(), cfg.Runs, func(r int) error {
+		o := core.Options{Gamma: 0.95, Seed: cfg.BaseSeed + int64(r)}
 		t0 := time.Now()
-		res, err := valueiter.Solve(p.Env(), valueiter.Config{Gamma: 0.95, Seed: cfg.BaseSeed + int64(r)})
+		pol, err := engine.Train(context.Background(), "valueiter", inst, o)
 		if err != nil {
 			return err
 		}
 		viTimes[r] = time.Since(t0)
-		plan, err := res.Policy.RecommendGuided(p.Env(), inst.StartIndex())
+		plan, err := pol.Recommend(inst.StartIndex())
 		if err != nil {
 			return err
 		}
 		viScores[r] = eval.Score(inst, plan)
-		viIterPerRun[r] = res.Iterations
+		viIterPerRun[r] = pol.(engine.Converger).Iterations()
 		return nil
 	})
 	if err != nil {

@@ -6,18 +6,33 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/rlplanner/rlplanner/internal/baselines/eda"
-	"github.com/rlplanner/rlplanner/internal/baselines/gold"
-	"github.com/rlplanner/rlplanner/internal/baselines/omega"
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/dataset/trip"
 	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/engine"
 	"github.com/rlplanner/rlplanner/internal/eval"
 	"github.com/rlplanner/rlplanner/internal/stats"
 )
+
+// scoreEngine trains the named engine once and scores its recommendation
+// against the constraints the policy was actually trained under (sweeps
+// override t and d). Every experiment scorer funnels through here — the
+// engine registry is the single construction path.
+func scoreEngine(name string, inst *dataset.Instance, opts core.Options) (float64, error) {
+	pol, err := engine.Train(context.Background(), name, inst, opts)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", inst.Name, err)
+	}
+	seq, err := pol.Recommend(engine.DefaultStart)
+	if err != nil {
+		return 0, err
+	}
+	return eval.ScoreWith(inst, pol.Hard(), seq), nil
+}
 
 // Config controls experiment execution.
 type Config struct {
@@ -59,20 +74,11 @@ func ScoreRL(inst *dataset.Instance, opts core.Options, cfg Config) ([]float64, 
 	err := forEach(cfg.workers(), cfg.Runs, func(r int) error {
 		o := opts
 		o.Seed = cfg.BaseSeed + int64(r)
-		p, err := core.New(inst, o)
-		if err != nil {
-			return fmt.Errorf("%s: %w", inst.Name, err)
-		}
-		if err := p.Learn(); err != nil {
-			return err
-		}
-		plan, err := p.Plan()
+		s, err := scoreEngine("sarsa", inst, o)
 		if err != nil {
 			return err
 		}
-		// Score against the constraints the planner actually ran under
-		// (sweeps override t and d).
-		scores[r] = eval.ScoreWith(inst, p.Env().Hard(), plan)
+		scores[r] = s
 		return nil
 	})
 	if err != nil {
@@ -84,42 +90,31 @@ func ScoreRL(inst *dataset.Instance, opts core.Options, cfg Config) ([]float64, 
 // ScoreEDA runs the EDA baseline over cfg.Runs tie-break seeds.
 func ScoreEDA(inst *dataset.Instance, opts core.Options, cfg Config) ([]float64, error) {
 	cfg = cfg.withDefaults()
-	p, err := core.New(inst, opts)
+	scores := make([]float64, cfg.Runs)
+	err := forEach(cfg.workers(), cfg.Runs, func(r int) error {
+		o := opts
+		o.Seed = cfg.BaseSeed + int64(r)
+		s, err := scoreEngine("eda", inst, o)
+		if err != nil {
+			return err
+		}
+		scores[r] = s
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	start := p.SarsaConfig().Start
-	plans, err := eda.AveragePlan(p.Env(), start, cfg.Runs, cfg.BaseSeed)
-	if err != nil {
-		return nil, err
-	}
-	scores := make([]float64, len(plans))
-	for i, plan := range plans {
-		scores[i] = eval.ScoreWith(inst, p.Env().Hard(), plan)
 	}
 	return scores, nil
 }
 
 // ScoreOmega runs the adapted OMEGA baseline (deterministic).
 func ScoreOmega(inst *dataset.Instance, opts core.Options) (float64, error) {
-	p, err := core.New(inst, opts)
-	if err != nil {
-		return 0, err
-	}
-	plan, err := omega.Plan(p.Env(), p.SarsaConfig().Start)
-	if err != nil {
-		return 0, err
-	}
-	return eval.ScoreWith(inst, p.Env().Hard(), plan), nil
+	return scoreEngine("omega", inst, opts)
 }
 
 // ScoreGold synthesizes and scores the gold standard.
 func ScoreGold(inst *dataset.Instance) (float64, error) {
-	plan, err := gold.Plan(inst)
-	if err != nil {
-		return 0, err
-	}
-	return eval.Score(inst, plan), nil
+	return scoreEngine("gold", inst, core.Options{})
 }
 
 // courseInstances returns the four course-planning instances of §IV-A1.

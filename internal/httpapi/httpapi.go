@@ -1,28 +1,46 @@
 // Package httpapi serves RL-Planner over HTTP/JSON: instance discovery,
-// one-shot planning, baselines, the rater panel and interactive sessions.
-// It exists for the interactive-mode deployment scenario of §IV-F (MOOC
-// and travel platforms advising thousands of users) and is built entirely
-// on the public rlplanner API and net/http.
+// one-shot planning with any registered engine, policy artifact
+// export/import, the rater panel and interactive sessions. It exists for
+// the interactive-mode deployment scenario of §IV-F (MOOC and travel
+// platforms advising thousands of users).
+//
+// The serving path separates training from serving. Policies are
+// immutable artifacts kept in a bounded LRU store with per-key
+// singleflight training: concurrent requests for the same cold
+// (instance, engine, options) key share one training run, different keys
+// train in parallel, and every read path (instance listing, cached-policy
+// planning, sessions) stays responsive while training runs — no global
+// lock is ever held across a learning phase.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"github.com/rlplanner/rlplanner"
+	"github.com/rlplanner/rlplanner/internal/engine"
 )
 
-// Server holds the HTTP state: lazily learned planners per (instance,
-// options) and live interactive sessions.
+// Server holds the HTTP state: the policy store and live interactive
+// sessions. The mutex guards only the session and custom-instance maps —
+// never a training run.
 type Server struct {
 	mu       sync.Mutex
-	planners map[string]*rlplanner.Planner
 	sessions map[string]*sessionState
 	custom   map[string]*rlplanner.Instance
 	nextID   int
+
+	policies *engine.Store[*rlplanner.Policy]
+
+	// onTrain, when set, observes every actual training run (not cache
+	// hits or singleflight followers). Tests use it to count and to
+	// stall training while probing other endpoints.
+	onTrain func(key string)
 }
 
 type sessionState struct {
@@ -30,13 +48,26 @@ type sessionState struct {
 	session  *rlplanner.Session
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithPolicyCacheSize bounds the policy LRU store (engine.DefaultStoreSize
+// when never set or n <= 0).
+func WithPolicyCacheSize(n int) Option {
+	return func(s *Server) { s.policies = engine.NewStore[*rlplanner.Policy](n) }
+}
+
 // New returns an empty server.
-func New() *Server {
-	return &Server{
-		planners: make(map[string]*rlplanner.Planner),
+func New(opts ...Option) *Server {
+	s := &Server{
 		sessions: make(map[string]*sessionState),
 		custom:   make(map[string]*rlplanner.Instance),
+		policies: engine.NewStore[*rlplanner.Policy](0),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // instance resolves a name against custom uploads first, then built-ins.
@@ -56,6 +87,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/instances", s.listInstances)
 	mux.HandleFunc("POST /api/instances", s.createInstance)
 	mux.HandleFunc("GET /api/instances/{name}", s.getInstance)
+	mux.HandleFunc("GET /api/engines", s.listEngines)
+	mux.HandleFunc("GET /api/policies", s.listPolicies)
+	mux.HandleFunc("POST /api/policies/export", s.exportPolicy)
+	mux.HandleFunc("POST /api/policies/import", s.importPolicy)
 	mux.HandleFunc("POST /api/plan", s.plan)
 	mux.HandleFunc("POST /api/rate", s.rate)
 	mux.HandleFunc("POST /api/explain", s.explain)
@@ -67,14 +102,27 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// writeJSON writes v with the given status.
+// writeJSON writes v with the given status. The value is encoded before
+// any byte reaches the wire, so an encoding failure can still produce a
+// clean 500 instead of a torn response; write errors (client gone) are
+// logged, not dropped.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("httpapi: encode response: %v", err)
+		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(append(body, '\n')); err != nil {
+		log.Printf("httpapi: write response: %v", err)
+	}
 }
 
-// writeError reports an error as {"error": "..."}.
+// writeError reports an error as {"error": "..."}. Because writeJSON
+// marshals before writing, the header has not been sent for the failing
+// value, so the error status always reaches the client intact.
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -156,16 +204,22 @@ func (s *Server) getInstance(w http.ResponseWriter, r *http.Request) {
 	}{info(in), in.Items()})
 }
 
-// planRequest selects an instance, options and optionally a baseline.
+func (s *Server) listEngines(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"engines": rlplanner.Engines()})
+}
+
+// planRequest selects an instance, an engine and options.
 type planRequest struct {
 	Instance string  `json:"instance"`
+	Engine   string  `json:"engine,omitempty"` // registry name; "" = sarsa
 	Episodes int     `json:"episodes,omitempty"`
 	Seed     int64   `json:"seed,omitempty"`
 	Start    string  `json:"start,omitempty"`
 	MinSim   bool    `json:"min_sim,omitempty"`
 	Time     float64 `json:"time_limit_hours,omitempty"`
 	Distance float64 `json:"max_distance_km,omitempty"`
-	Baseline string  `json:"baseline,omitempty"` // "", "eda", "omega", "gold"
+	// Baseline is the legacy spelling of Engine ("eda", "omega", "gold").
+	Baseline string `json:"baseline,omitempty"`
 }
 
 func (r planRequest) options() rlplanner.Options {
@@ -179,36 +233,97 @@ func (r planRequest) options() rlplanner.Options {
 	}
 }
 
-// plannerKey caches learned planners per configuration.
-func (r planRequest) plannerKey() string {
-	return fmt.Sprintf("%s|%d|%d|%s|%v|%g|%g",
-		r.Instance, r.Episodes, r.Seed, r.Start, r.MinSim, r.Time, r.Distance)
+// engineName resolves the requested engine (legacy Baseline included) to
+// its canonical registry name.
+func (r planRequest) engineName() (string, error) {
+	name := r.Engine
+	if name == "" {
+		name = r.Baseline
+	}
+	return rlplanner.EngineName(name)
 }
 
-// planner returns a learned planner for the request, reusing the cache.
-func (s *Server) planner(req planRequest) (*rlplanner.Planner, error) {
-	// Resolve before locking: instance lookup takes the same mutex.
-	inst, err := s.instance(req.Instance)
-	if err != nil {
-		return nil, err
+// policyKey identifies one (instance, engine, options) policy in the
+// store. engineName must be canonical so aliases share an entry.
+func (r planRequest) policyKey(engineName string) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%v|%g|%g",
+		r.Instance, engineName, r.Episodes, r.Seed, r.Start, r.MinSim, r.Time, r.Distance)
+}
+
+// policy returns the trained policy for the request: from the store when
+// cached (never blocking on any training run), otherwise training it
+// behind the per-key singleflight. Training deliberately runs under a
+// background context — a canceled request must not abort a run that
+// concurrent followers are waiting on.
+func (s *Server) policy(ctx context.Context, inst *rlplanner.Instance, engineName string, req planRequest) (*rlplanner.Policy, error) {
+	key := req.policyKey(engineName)
+	if pol, ok := s.policies.Cached(key); ok {
+		return pol, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.planners[req.plannerKey()]; ok {
-		return p, nil
-	}
-	p, err := rlplanner.NewPlanner(inst, req.options())
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Learn(); err != nil {
-		return nil, err
-	}
-	s.planners[req.plannerKey()] = p
-	return p, nil
+	pol, _, err := s.policies.GetOrTrain(ctx, key, func() (*rlplanner.Policy, error) {
+		if s.onTrain != nil {
+			s.onTrain(key)
+		}
+		return rlplanner.Train(context.Background(), inst, engineName, req.options())
+	})
+	return pol, err
 }
 
 func (s *Server) plan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve the instance and engine once; everything downstream reuses
+	// them.
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	engineName, err := req.engineName()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pol, err := s.policy(r.Context(), inst, engineName, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := pol.Recommend("")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// policyInfo describes one cached policy.
+type policyInfo struct {
+	Key         string `json:"key"`
+	Engine      string `json:"engine"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) listPolicies(w http.ResponseWriter, _ *http.Request) {
+	keys := s.policies.Keys()
+	out := make([]policyInfo, 0, len(keys))
+	for _, key := range keys {
+		pol, ok := s.policies.Cached(key)
+		if !ok { // evicted between Keys and Cached
+			continue
+		}
+		out = append(out, policyInfo{Key: key, Engine: pol.Engine(), Fingerprint: pol.Fingerprint()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// exportPolicy trains (or reuses) the policy for a plan request and
+// streams it as a binary artifact: version header, engine name, catalog
+// fingerprint, learned values.
+func (s *Server) exportPolicy(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -219,36 +334,47 @@ func (s *Server) plan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-
-	var plan *rlplanner.Plan
-	switch req.Baseline {
-	case "":
-		p, err := s.planner(req)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		plan, err = p.Plan()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-	case "eda":
-		plan, err = rlplanner.EDABaseline(inst, req.options())
-	case "omega":
-		plan, err = rlplanner.OmegaBaseline(inst, req.options())
-	case "gold":
-		plan, err = rlplanner.GoldStandard(inst)
-	default:
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown baseline %q (want eda, omega or gold)", req.Baseline))
-		return
-	}
+	engineName, err := req.engineName()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, plan)
+	pol, err := s.policy(r.Context(), inst, engineName, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := pol.Save(w); err != nil {
+		log.Printf("httpapi: stream policy artifact: %v", err)
+	}
+}
+
+// importPolicy installs an uploaded artifact (the bytes exportPolicy
+// wrote) for the instance named in the query. The artifact's catalog
+// fingerprint must match. The policy is stored under the instance's
+// default-options key for its engine, so subsequent
+// {"instance": ..., "engine": ...} plan requests are served from it
+// without any training.
+func (s *Server) importPolicy(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("instance")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?instance= query parameter"))
+		return
+	}
+	inst, err := s.instance(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	pol, err := rlplanner.LoadPolicyArtifact(r.Body, inst, rlplanner.Options{})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := planRequest{Instance: name}.policyKey(pol.Engine())
+	s.policies.Add(key, pol)
+	writeJSON(w, http.StatusCreated, policyInfo{Key: key, Engine: pol.Engine(), Fingerprint: pol.Fingerprint()})
 }
 
 // rateRequest rates an explicit plan on an instance.
@@ -303,14 +429,24 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.planner(req.planRequest)
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	engineName, err := req.engineName()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := p.StartSession(req.Suggestions)
+	pol, err := s.policy(r.Context(), inst, engineName, req.planRequest)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := pol.NewSession(req.Suggestions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()

@@ -1,0 +1,106 @@
+package rlplanner
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/rlplanner/rlplanner/internal/engine"
+	"github.com/rlplanner/rlplanner/internal/session"
+)
+
+// Engines lists the registered planning engines: the SARSA core
+// ("sarsa", the default), its Q-learning variant ("qlearning"), value
+// iteration ("valueiter") and the §IV-A2 baselines ("eda", "omega",
+// "gold"). Any of these names — or their aliases, e.g. "vi" — can be
+// passed to Train and to the HTTP API's "engine" field.
+func Engines() []string { return engine.Names() }
+
+// EngineName resolves an engine name or alias ("" selects the default
+// SARSA engine) to its canonical registry name.
+func EngineName(name string) (string, error) { return engine.Canonical(name) }
+
+// Policy is an immutable, trained planning artifact: the output of an
+// engine's learning (train) phase, decoupled from serving. A Policy
+// never mutates, so one policy safely serves many concurrent Recommend
+// calls — the train-once / serve-many shape of the §IV-F deployments.
+type Policy struct {
+	inst *Instance
+	p    engine.Policy
+}
+
+// Train runs the named engine's training phase on the instance and
+// returns the policy artifact. An empty engine name selects the default
+// SARSA engine; see Engines for the registry.
+func Train(ctx context.Context, inst *Instance, engineName string, opts Options) (*Policy, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("rlplanner: nil instance")
+	}
+	pol, err := engine.Train(ctx, engineName, inst.inner, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{inst: inst, p: pol}, nil
+}
+
+// Engine returns the canonical name of the engine that produced the
+// policy.
+func (p *Policy) Engine() string { return p.p.Engine() }
+
+// Fingerprint identifies the catalog the policy was trained on; loading
+// an artifact against an instance with a different fingerprint fails.
+func (p *Policy) Fingerprint() string { return p.p.Fingerprint() }
+
+// Recommend produces a plan from the given start item id ("" uses the
+// start the policy was trained with). Safe for concurrent use.
+func (p *Policy) Recommend(startID string) (*Plan, error) {
+	start := engine.DefaultStart
+	if startID != "" {
+		idx, ok := p.inst.inner.Catalog.Index(startID)
+		if !ok {
+			return nil, fmt.Errorf("rlplanner: unknown item %q", startID)
+		}
+		start = idx
+	}
+	seq, err := p.p.Recommend(start)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(p.inst, p.p.Hard(), seq), nil
+}
+
+// Save writes the policy as a versioned artifact carrying the engine
+// name and the training catalog's fingerprint. LoadPolicyArtifact
+// restores it.
+func (p *Policy) Save(w io.Writer) error { return p.p.Save(w) }
+
+// NewSession opens an interactive session served from this policy with
+// k suggestions per round (k ≤ 0 selects 3). Only value-based policies
+// (sarsa, qlearning, valueiter) can drive sessions; baseline policies
+// return an error.
+func (p *Policy) NewSession(k int) (*Session, error) {
+	vp, ok := p.p.(engine.ValuePolicy)
+	if !ok {
+		return nil, fmt.Errorf("rlplanner: engine %s has no action values; interactive sessions need a value-based policy (one of sarsa, qlearning, valueiter)", p.Engine())
+	}
+	s, err := session.New(vp.Env(), vp.Values(), vp.Start(), k)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inst: p.inst, s: s}, nil
+}
+
+// LoadPolicyArtifact restores a policy saved with Policy.Save (or
+// Planner.SavePolicy) against the instance, verifying the format version
+// and the catalog fingerprint. opts rebind the serving environment the
+// same way they would configure training.
+func LoadPolicyArtifact(r io.Reader, inst *Instance, opts Options) (*Policy, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("rlplanner: nil instance")
+	}
+	pol, err := engine.Load(r, inst.inner, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{inst: inst, p: pol}, nil
+}

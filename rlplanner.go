@@ -22,21 +22,19 @@
 package rlplanner
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"github.com/rlplanner/rlplanner/internal/baselines/eda"
-	"github.com/rlplanner/rlplanner/internal/baselines/gold"
-	"github.com/rlplanner/rlplanner/internal/baselines/omega"
 	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/dataset/trip"
 	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/engine"
 	"github.com/rlplanner/rlplanner/internal/eval"
 	"github.com/rlplanner/rlplanner/internal/item"
 	"github.com/rlplanner/rlplanner/internal/prereq"
-	"github.com/rlplanner/rlplanner/internal/sarsa"
 	"github.com/rlplanner/rlplanner/internal/seqsim"
 	"github.com/rlplanner/rlplanner/internal/transfer"
 )
@@ -246,18 +244,23 @@ func (p *Planner) PlanFrom(id string) (*Plan, error) {
 	return newPlan(p.inst, p.p.Env().Hard(), seq), nil
 }
 
-// SavePolicy persists the learned policy.
+// SavePolicy persists the learned policy as a versioned artifact (the
+// same format Policy.Save writes): a header carrying the format version,
+// the engine name and the training catalog's fingerprint, then the
+// learned values.
 func (p *Planner) SavePolicy(w io.Writer) error {
 	pol := p.p.Policy()
 	if pol == nil {
 		return fmt.Errorf("rlplanner: no learned policy (call Learn first)")
 	}
-	return pol.WriteGob(w)
+	return engine.SaveValues(w, "sarsa", p.inst.inner, pol)
 }
 
-// LoadPolicy installs a previously saved policy, skipping Learn.
+// LoadPolicy installs a previously saved policy artifact, skipping
+// Learn. The artifact's catalog fingerprint must match this planner's
+// instance.
 func (p *Planner) LoadPolicy(r io.Reader) error {
-	pol, err := sarsa.ReadPolicy(r)
+	pol, err := engine.LoadValues(r, p.inst.inner)
 	if err != nil {
 		return err
 	}
@@ -344,39 +347,31 @@ func (p *Plan) IDs() []string {
 	return out
 }
 
-// GoldStandard synthesizes the handcrafted-quality gold plan (§IV-A2).
+// baselinePlan trains the named procedural engine and recommends once.
+func baselinePlan(inst *Instance, engineName string, opts Options) (*Plan, error) {
+	pol, err := Train(context.Background(), inst, engineName, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pol.Recommend("")
+}
+
+// GoldStandard synthesizes the handcrafted-quality gold plan (§IV-A2)
+// via the "gold" engine.
 func GoldStandard(inst *Instance) (*Plan, error) {
-	seq, err := gold.Plan(inst.inner)
-	if err != nil {
-		return nil, err
-	}
-	return newPlan(inst, inst.inner.Hard, seq), nil
+	return baselinePlan(inst, "gold", Options{})
 }
 
-// EDABaseline runs the greedy EDA next-step baseline (§IV-A2).
+// EDABaseline runs the greedy EDA next-step baseline (§IV-A2) via the
+// "eda" engine.
 func EDABaseline(inst *Instance, opts Options) (*Plan, error) {
-	p, err := core.New(inst.inner, opts.toCore())
-	if err != nil {
-		return nil, err
-	}
-	seq, err := eda.Plan(p.Env(), p.SarsaConfig().Start, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return newPlan(inst, p.Env().Hard(), seq), nil
+	return baselinePlan(inst, "eda", opts)
 }
 
-// OmegaBaseline runs the adapted OMEGA baseline (§IV-A2).
+// OmegaBaseline runs the adapted OMEGA baseline (§IV-A2) via the
+// "omega" engine.
 func OmegaBaseline(inst *Instance, opts Options) (*Plan, error) {
-	p, err := core.New(inst.inner, opts.toCore())
-	if err != nil {
-		return nil, err
-	}
-	seq, err := omega.Plan(p.Env(), p.SarsaConfig().Start)
-	if err != nil {
-		return nil, err
-	}
-	return newPlan(inst, p.Env().Hard(), seq), nil
+	return baselinePlan(inst, "omega", opts)
 }
 
 // Ratings are the four user-study questions on the 1–5 scale (§IV-C).
