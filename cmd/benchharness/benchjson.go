@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"github.com/rlplanner/rlplanner/internal/core"
-	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+	"github.com/rlplanner/rlplanner/internal/dataset"
 )
 
 // benchRecord is the machine-readable perf record written as
@@ -59,12 +59,13 @@ func measure(fn func() error) (ns int64, allocs, bytes uint64, err error) {
 }
 
 // hotpathRecord benchmarks the per-step MDP loop directly — full greedy
-// episodes on Univ-1 DS-CT, one op per candidate-reward evaluation — so
-// alloc regressions in Episode.Reward/AppendCandidates show up in the
-// JSON trajectory without regenerating any figure.
-func hotpathRecord() (benchRecord, error) {
-	rec := benchRecord{Name: "hotpath", Workers: 1, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	inst := univ.Univ1DSCT()
+// episodes on the given instance, one op per candidate-reward evaluation —
+// so alloc regressions in Episode.Reward/AppendCandidates show up in the
+// JSON trajectory without regenerating any figure. The course-shaped
+// Univ-1 record exercises prerequisites and credit budgets; the NYC trip
+// record exercises the distance matrix and theme gates.
+func hotpathRecord(name string, inst *dataset.Instance) (benchRecord, error) {
+	rec := benchRecord{Name: name, Workers: 1, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	p, err := core.New(inst, core.Options{})
 	if err != nil {
 		return rec, err
@@ -74,10 +75,13 @@ func hotpathRecord() (benchRecord, error) {
 	const episodes = 2000
 	ops := 0
 	var cands []int
+	ep, err := env.Start(start)
+	if err != nil {
+		return rec, err
+	}
 	ns, allocs, bytes, err := measure(func() error {
 		for i := 0; i < episodes; i++ {
-			ep, err := env.Start(start)
-			if err != nil {
+			if err := ep.Reset(start); err != nil {
 				return err
 			}
 			for !ep.Done() {
@@ -101,7 +105,7 @@ func hotpathRecord() (benchRecord, error) {
 		return rec, err
 	}
 	if ops == 0 {
-		return rec, fmt.Errorf("hotpath: no reward evaluations ran")
+		return rec, fmt.Errorf("%s: no reward evaluations ran", name)
 	}
 	rec.Ops = ops
 	rec.NsOp = ns / int64(ops)

@@ -29,6 +29,9 @@ import (
 	"strings"
 
 	"github.com/rlplanner/rlplanner"
+	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
 	"github.com/rlplanner/rlplanner/internal/experiments"
 	"github.com/rlplanner/rlplanner/internal/plot"
 	"github.com/rlplanner/rlplanner/internal/stats"
@@ -263,15 +266,23 @@ func main() {
 	})
 
 	if *benchjson != "" {
-		rec, err := hotpathRecord()
-		if err != nil {
-			fail("hotpath", err)
+		for _, hp := range []struct {
+			name string
+			inst *dataset.Instance
+		}{
+			{"hotpath", univ.Univ1DSCT()},
+			{"hotpath_trip", trip.NYC().Instance},
+		} {
+			rec, err := hotpathRecord(hp.name, hp.inst)
+			if err != nil {
+				fail(hp.name, err)
+			}
+			if err := writeBench(*benchjson, rec); err != nil {
+				fail(hp.name, err)
+			}
+			fmt.Fprintf(out, "hot path (%s): %d reward evals, %d ns/op, %d allocs/op → BENCH_%s.json\n",
+				hp.name, rec.Ops, rec.NsOp, rec.AllocsOp, hp.name)
 		}
-		if err := writeBench(*benchjson, rec); err != nil {
-			fail("hotpath", err)
-		}
-		fmt.Fprintf(out, "hot path: %d reward evals, %d ns/op, %d allocs/op → %s\n",
-			rec.Ops, rec.NsOp, rec.AllocsOp, "BENCH_hotpath.json")
 	}
 
 	if ran == 0 && *benchjson == "" {

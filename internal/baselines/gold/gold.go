@@ -25,6 +25,37 @@ import (
 // hanging; real instances need far fewer nodes.
 const maxNodes = 200000
 
+// distCache serves leg distances from the same precomputed float32 matrix
+// the learner's environment uses (geo.DistMatrix), so the gold synthesizer
+// and the MDP measure identical geometry. Above the size guard it falls
+// back to on-the-fly Haversine.
+type distCache struct {
+	m   *geo.DistMatrix
+	pts []geo.Point
+}
+
+// newDistCache builds the cache for a catalog; active is the instance's
+// "distance constraint in play" flag (leg is only consulted when it is).
+func newDistCache(c *item.Catalog, active bool) distCache {
+	if !active {
+		return distCache{}
+	}
+	pts := make([]geo.Point, c.Len())
+	for i := range pts {
+		m := c.At(i)
+		pts[i] = geo.Point{Lat: m.Lat, Lon: m.Lon}
+	}
+	return distCache{m: geo.NewDistMatrixCapped(pts, geo.DefaultDistMatrixMaxItems), pts: pts}
+}
+
+// leg returns the distance between items i and j in kilometers.
+func (d distCache) leg(i, j int) float64 {
+	if d.m != nil {
+		return d.m.Dist(i, j)
+	}
+	return geo.Haversine(d.pts[i], d.pts[j])
+}
+
 // Plan synthesizes a gold-standard plan for the instance. For instances
 // with a length/split requirement it tries each template permutation in
 // order and returns the first full assignment. For budget-only instances
@@ -51,6 +82,7 @@ func greedyPopular(inst *dataset.Instance) ([]int, error) {
 	var plan []int
 	chosen := make([]bool, c.Len())
 	positions := make(map[string]int, c.Len())
+	dc := newDistCache(c, h.MaxDistanceKm > 0)
 	var credits, distance float64
 
 	// Seed with the single most popular POI.
@@ -73,18 +105,12 @@ func greedyPopular(inst *dataset.Instance) ([]int, error) {
 					continue
 				}
 			}
-			var leg float64
-			if h.MaxDistanceKm > 0 && len(plan) > 0 {
-				prev := c.At(plan[len(plan)-1])
-				leg = geo.Haversine(geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-					geo.Point{Lat: m.Lat, Lon: m.Lon})
-				if distance+leg > h.MaxDistanceKm {
-					continue
-				}
+			if h.MaxDistanceKm > 0 && len(plan) > 0 &&
+				distance+dc.leg(plan[len(plan)-1], idx) > h.MaxDistanceKm {
+				continue
 			}
 			if m.Popularity > bestPop {
 				best, bestPop = idx, m.Popularity
-				_ = leg
 			}
 		}
 		if best < 0 {
@@ -92,9 +118,7 @@ func greedyPopular(inst *dataset.Instance) ([]int, error) {
 		}
 		m := c.At(best)
 		if h.MaxDistanceKm > 0 && len(plan) > 0 {
-			prev := c.At(plan[len(plan)-1])
-			distance += geo.Haversine(geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-				geo.Point{Lat: m.Lat, Lon: m.Lon})
+			distance += dc.leg(plan[len(plan)-1], best)
 		}
 		positions[m.ID] = len(plan)
 		plan = append(plan, best)
@@ -114,6 +138,7 @@ type searchState struct {
 	plan      []int
 	positions map[string]int
 	chosen    []bool
+	dc        distCache
 	credits   float64
 	distance  float64
 	nodes     int
@@ -127,6 +152,7 @@ func fill(inst *dataset.Instance, perm []item.Type) []int {
 		perm:      perm,
 		positions: make(map[string]int, len(perm)),
 		chosen:    make([]bool, inst.Catalog.Len()),
+		dc:        newDistCache(inst.Catalog, inst.Hard.MaxDistanceKm > 0),
 	}
 	if st.dfs(0) {
 		return st.plan
@@ -184,13 +210,9 @@ func (st *searchState) candidates(pos int) []int {
 				continue
 			}
 		}
-		if h.MaxDistanceKm > 0 && pos > 0 {
-			prev := c.At(st.plan[pos-1])
-			leg := geo.Haversine(geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-				geo.Point{Lat: m.Lat, Lon: m.Lon})
-			if st.distance+leg > h.MaxDistanceKm {
-				continue
-			}
+		if h.MaxDistanceKm > 0 && pos > 0 &&
+			st.distance+st.dc.leg(st.plan[pos-1], idx) > h.MaxDistanceKm {
+			continue
 		}
 		out = append(out, idx)
 	}
@@ -211,10 +233,8 @@ func (st *searchState) candidates(pos int) []int {
 func (st *searchState) push(pos, idx int) {
 	c := st.inst.Catalog
 	m := c.At(idx)
-	if pos > 0 {
-		prev := c.At(st.plan[pos-1])
-		st.distance += geo.Haversine(geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-			geo.Point{Lat: m.Lat, Lon: m.Lon})
+	if pos > 0 && st.inst.Hard.MaxDistanceKm > 0 {
+		st.distance += st.dc.leg(st.plan[pos-1], idx)
 	}
 	st.plan = append(st.plan, idx)
 	st.positions[m.ID] = pos
@@ -229,9 +249,7 @@ func (st *searchState) pop(pos, idx int) {
 	delete(st.positions, m.ID)
 	st.chosen[idx] = false
 	st.credits -= m.Credits
-	if pos > 0 {
-		prev := c.At(st.plan[len(st.plan)-1])
-		st.distance -= geo.Haversine(geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-			geo.Point{Lat: m.Lat, Lon: m.Lon})
+	if pos > 0 && st.inst.Hard.MaxDistanceKm > 0 {
+		st.distance -= st.dc.leg(st.plan[len(st.plan)-1], idx)
 	}
 }

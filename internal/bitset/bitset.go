@@ -95,6 +95,13 @@ func (s Set) Empty() bool {
 	return true
 }
 
+// ClearAll turns every bit off in place, reusing the backing words.
+func (s Set) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	c := Set{n: s.n, words: make([]uint64, len(s.words))}

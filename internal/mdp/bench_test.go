@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/rlplanner/rlplanner/internal/core"
+	"github.com/rlplanner/rlplanner/internal/dataset/trip"
 	"github.com/rlplanner/rlplanner/internal/dataset/univ"
 	"github.com/rlplanner/rlplanner/internal/mdp"
 )
@@ -20,34 +21,63 @@ func benchEnv(b *testing.B) (*mdp.Env, int) {
 	return p.Env(), inst.StartIndex()
 }
 
+// benchTripEnv wires the NYC trip instance — distance threshold, theme
+// gap and museum-before-restaurant prerequisites all active — so the
+// benchmarks cover the geometry-heavy trip variant of the step loop.
+func benchTripEnv(b *testing.B) (*mdp.Env, int) {
+	b.Helper()
+	inst := trip.NYC().Instance
+	p, err := core.New(inst, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Env(), inst.StartIndex()
+}
+
 // BenchmarkEpisodeStep walks full greedy episodes: per step it collects
 // the candidate set and evaluates every candidate's Equation 2 reward —
 // the inner loop of both SARSA learning and the EDA baseline. With the
-// scratch-transition path this must not allocate per candidate; run with
-// -benchmem to see alloc regressions without regenerating full figures.
+// scratch-transition path and Episode.Reset this must report 0 allocs/op;
+// run with -benchmem to see alloc regressions without regenerating full
+// figures.
+// The trip sub-benchmark exercises the distance-constrained path (CanStep
+// geometry + prereq + theme gates on every candidate).
 func BenchmarkEpisodeStep(b *testing.B) {
-	env, start := benchEnv(b)
-	var cands []int
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ep, err := env.Start(start)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for !ep.Done() {
-			cands = ep.AppendCandidates(cands[:0])
-			if len(cands) == 0 {
-				break
+	for _, tc := range []struct {
+		name string
+		mk   func(*testing.B) (*mdp.Env, int)
+	}{
+		{"univ1dsct", benchEnv},
+		{"tripNYC", benchTripEnv},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			env, start := tc.mk(b)
+			ep, err := env.Start(start)
+			if err != nil {
+				b.Fatal(err)
 			}
-			best, bestR := cands[0], -1.0
-			for _, c := range cands {
-				if r := ep.Reward(c); r > bestR {
-					best, bestR = c, r
+			var cands []int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ep.Reset(start); err != nil {
+					b.Fatal(err)
+				}
+				for !ep.Done() {
+					cands = ep.AppendCandidates(cands[:0])
+					if len(cands) == 0 {
+						break
+					}
+					best, bestR := cands[0], -1.0
+					for _, c := range cands {
+						if r := ep.Reward(c); r > bestR {
+							best, bestR = c, r
+						}
+					}
+					ep.Step(best)
 				}
 			}
-			ep.Step(best)
-		}
+		})
 	}
 }
 

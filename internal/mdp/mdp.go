@@ -67,9 +67,36 @@ func (b TimeBudget) Allows(credits float64, count int, itemCredits float64) bool
 	return !b.Done(credits, count) && credits+itemCredits <= b.Hours
 }
 
+// DistMatrixMaxItems is the size guard for the environment's precomputed
+// distance matrix: catalogs larger than this fall back to on-the-fly
+// Haversine instead of allocating a quadratic float32 table (see
+// geo.NewDistMatrixCapped for the memory arithmetic).
+var DistMatrixMaxItems = geo.DefaultDistMatrixMaxItems
+
+// itemFacts is the flat, Env-static per-item record the per-candidate hot
+// path reads instead of copying whole item.Item values (whose strings and
+// interface fields the step loop never needs) out of the catalog.
+type itemFacts struct {
+	// topics is T^m, unioned into T_current on admission.
+	topics bitset.Set
+	// idealTopics is T^m ∩ T_ideal: Equation 3's coverage gain is
+	// |idealTopics \ T_current|, one masked popcount per candidate.
+	idealTopics bitset.Set
+	credits     float64
+	popularity  float64
+	category    int
+	typ         item.Type
+}
+
 // Env is the TPP environment: one catalog with its constraints, reward
 // configuration and trajectory budget. Env is immutable and safe for
 // concurrent use; per-trajectory state lives in Episode.
+//
+// NewEnv precomputes everything an episode step needs that does not depend
+// on trajectory state: flat per-item transition facts (itemFacts), compiled
+// index-based prerequisite programs with their reverse dependency index,
+// and — when a distance constraint is active — the pairwise POI distance
+// matrix. See DESIGN.md "Precomputation layer".
 type Env struct {
 	catalog *item.Catalog
 	hard    constraints.Hard
@@ -79,6 +106,25 @@ type Env struct {
 	// idealSize caches |T_ideal| so candidate evaluation does not
 	// recount the ideal vector on every transition.
 	idealSize int
+
+	// facts holds the Env-static per-item transition facts, index-aligned
+	// with the catalog.
+	facts []itemFacts
+	// pts holds every item's coordinates for the Haversine fallback when
+	// distMat is nil (catalog above the size guard).
+	pts []geo.Point
+	// distMat is the precomputed pairwise distance table, non-nil only when
+	// hard.MaxDistanceKm > 0 and the catalog is within DistMatrixMaxItems.
+	distMat *geo.DistMatrix
+	// prereqs are the compiled prerequisite programs + reverse dependencies.
+	prereqs *prereq.Compiled
+	// prereqInit[i] is item i's prerequisite status with nothing placed —
+	// the starting value of every episode's incremental cache.
+	prereqInit []bool
+	// gapStep is max(hard.Gap, 1): between consecutive steps the frontier
+	// position advances by one, so the single antecedent position that newly
+	// crosses the gap threshold is seq[pos-gapStep].
+	gapStep int
 }
 
 // NewEnv validates the pieces and builds an environment.
@@ -102,8 +148,60 @@ func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
 			return nil, err
 		}
 	}
-	return &Env{catalog: c, hard: hard, soft: soft, reward: rw, budget: budget,
-		idealSize: soft.Ideal.Count()}, nil
+	e := &Env{catalog: c, hard: hard, soft: soft, reward: rw, budget: budget,
+		idealSize: soft.Ideal.Count()}
+
+	n := c.Len()
+	e.facts = make([]itemFacts, n)
+	e.pts = make([]geo.Point, n)
+	exprs := make([]prereq.Expr, n)
+	for i := 0; i < n; i++ {
+		m := c.At(i)
+		e.facts[i] = itemFacts{
+			topics:      m.Topics,
+			idealTopics: m.Topics.Intersect(soft.Ideal),
+			credits:     m.Credits,
+			popularity:  m.Popularity,
+			category:    m.Category,
+			typ:         m.Type,
+		}
+		e.pts[i] = geo.Point{Lat: m.Lat, Lon: m.Lon}
+		exprs[i] = m.Prereq
+	}
+	if hard.MaxDistanceKm > 0 {
+		e.distMat = geo.NewDistMatrixCapped(e.pts, DistMatrixMaxItems)
+	}
+	compiled, err := prereq.Compile(exprs, c.Index)
+	if err != nil {
+		return nil, fmt.Errorf("mdp: %w", err)
+	}
+	e.prereqs = compiled
+	// With nothing placed, a program's value is position-independent (every
+	// reference reads "absent"), so one evaluation seeds every episode.
+	none := make([]int32, n)
+	for i := range none {
+		none[i] = -1
+	}
+	e.prereqInit = make([]bool, n)
+	for i := 0; i < n; i++ {
+		e.prereqInit[i] = compiled.Eval(i, 0, none, hard.Gap)
+	}
+	e.gapStep = hard.Gap
+	if e.gapStep < 1 {
+		e.gapStep = 1
+	}
+	return e, nil
+}
+
+// Dist returns the great-circle distance in kilometers between items i and
+// j, served from the precomputed matrix when one is active. Baselines and
+// the guided recommendation walk route their leg computations through this
+// so every consumer measures the same geometry as the learner.
+func (e *Env) Dist(i, j int) float64 {
+	if e.distMat != nil {
+		return e.distMat.Dist(i, j)
+	}
+	return geo.Haversine(e.pts[i], e.pts[j])
 }
 
 // Catalog returns the environment's item catalog.
@@ -129,14 +227,24 @@ func (e *Env) NumItems() int { return e.catalog.Len() }
 // buffers (see TransitionScratch). Concurrent learners each run their own
 // Episode against a shared, immutable Env.
 type Episode struct {
-	env       *Env
-	seq       []int
-	seqTypes  []item.Type
-	positions map[string]int
+	env      *Env
+	seq      []int
+	seqTypes []item.Type
+	// positions is the index-aligned placement array the compiled
+	// prerequisite programs read: positions[i] is item i's 0-based sequence
+	// position, -1 while unchosen.
+	positions []int32
 	current   bitset.Set // T_current
 	credits   float64
 	distance  float64
 	chosen    []bool
+	// prereqOK is the incremental prerequisite cache: prereqOK[i] holds
+	// prereq-satisfaction of item i at the current frontier position
+	// len(seq). admit updates only the dependents of the antecedent that
+	// newly crossed the gap threshold, so candidate evaluation is a single
+	// bool load (satisfaction is monotone within an episode: positions only
+	// gain entries and the frontier only advances).
+	prereqOK []bool
 	// candTypes is the scratch type sequence for candidate evaluation:
 	// seqTypes plus one slot for the candidate's type. It is rebuilt once
 	// per step (in admit), so evaluating a candidate only writes the final
@@ -150,36 +258,80 @@ type Episode struct {
 // The start item joins the plan and seeds T_current; no reward attaches to
 // it because rewards belong to transitions.
 func (e *Env) Start(start int) (*Episode, error) {
-	if start < 0 || start >= e.catalog.Len() {
-		return nil, fmt.Errorf("mdp: start item %d out of range [0,%d)", start, e.catalog.Len())
+	n := e.catalog.Len()
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("mdp: start item %d out of range [0,%d)", start, n)
 	}
 	ep := &Episode{
 		env:       e,
 		seq:       make([]int, 0, e.hard.Length()+1),
 		seqTypes:  make([]item.Type, 0, e.hard.Length()+1),
-		positions: make(map[string]int, e.hard.Length()+1),
+		positions: make([]int32, n),
 		current:   bitset.New(e.catalog.Vocabulary().Len()),
-		chosen:    make([]bool, e.catalog.Len()),
 	}
-	ep.admit(start)
+	// chosen and prereqOK share one allocation; full slice caps keep an
+	// append on one from clobbering the other.
+	flags := make([]bool, 2*n)
+	ep.chosen = flags[:n:n]
+	ep.prereqOK = flags[n:]
+	ep.reset(start)
 	return ep, nil
+}
+
+// Reset rewinds the episode to a fresh trajectory starting at start,
+// reusing every internal buffer. Training loops that run thousands of
+// episodes against one Env call this instead of Env.Start so the steady
+// state allocates nothing per episode.
+func (ep *Episode) Reset(start int) error {
+	if start < 0 || start >= len(ep.chosen) {
+		return fmt.Errorf("mdp: start item %d out of range [0,%d)", start, len(ep.chosen))
+	}
+	ep.reset(start)
+	return nil
+}
+
+// reset clears the trajectory state in place and admits the start item.
+func (ep *Episode) reset(start int) {
+	ep.seq = ep.seq[:0]
+	ep.seqTypes = ep.seqTypes[:0]
+	for i := range ep.positions {
+		ep.positions[i] = -1
+	}
+	ep.current.ClearAll()
+	ep.credits, ep.distance = 0, 0
+	for i := range ep.chosen {
+		ep.chosen[i] = false
+	}
+	copy(ep.prereqOK, ep.env.prereqInit)
+	ep.admit(start)
 }
 
 // admit appends an item to the trajectory and updates the derived state.
 func (ep *Episode) admit(idx int) {
-	m := ep.env.catalog.At(idx)
-	if n := len(ep.seq); n > 0 {
-		prev := ep.env.catalog.At(ep.seq[n-1])
-		ep.distance += geo.Haversine(
-			geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-			geo.Point{Lat: m.Lat, Lon: m.Lon})
+	f := &ep.env.facts[idx]
+	p := len(ep.seq) // the new item's position
+	if p > 0 {
+		ep.distance += ep.env.Dist(ep.seq[p-1], idx)
 	}
-	ep.positions[m.ID] = len(ep.seq)
+	ep.positions[idx] = int32(p)
 	ep.seq = append(ep.seq, idx)
-	ep.seqTypes = append(ep.seqTypes, m.Type)
-	ep.current.UnionInPlace(m.Topics)
-	ep.credits += m.Credits
+	ep.seqTypes = append(ep.seqTypes, f.typ)
+	ep.current.UnionInPlace(f.topics)
+	ep.credits += f.credits
 	ep.chosen[idx] = true
+
+	// Advance the incremental prerequisite cache to the new frontier
+	// position p+1. Between frontiers p and p+1 exactly one placement
+	// newly satisfies gap-distance: the item at position q = p+1-gapStep
+	// (for gap ≤ 1 that is the item just admitted). Only its dependents
+	// can flip, and only from false to true.
+	if q := p + 1 - ep.env.gapStep; q >= 0 {
+		for _, d := range ep.env.prereqs.Dependents(ep.seq[q]) {
+			if !ep.prereqOK[d] {
+				ep.prereqOK[d] = ep.env.prereqs.Eval(int(d), p+1, ep.positions, ep.env.hard.Gap)
+			}
+		}
+	}
 
 	// Rebuild the candidate type buffer once per step; TransitionScratch
 	// then only writes the final slot per candidate.
@@ -223,16 +375,11 @@ func (ep *Episode) CanStep(idx int) bool {
 	if idx < 0 || idx >= len(ep.chosen) || ep.chosen[idx] {
 		return false
 	}
-	m := ep.env.catalog.At(idx)
-	if !ep.env.budget.Allows(ep.credits, len(ep.seq), m.Credits) {
+	if !ep.env.budget.Allows(ep.credits, len(ep.seq), ep.env.facts[idx].credits) {
 		return false
 	}
 	if d := ep.env.hard.MaxDistanceKm; d > 0 {
-		prev := ep.env.catalog.At(ep.Last())
-		leg := geo.Haversine(
-			geo.Point{Lat: prev.Lat, Lon: prev.Lon},
-			geo.Point{Lat: m.Lat, Lon: m.Lon})
-		if ep.distance+leg > d {
+		if ep.distance+ep.env.Dist(ep.Last(), idx) > d {
 			return false
 		}
 	}
@@ -264,24 +411,25 @@ func (ep *Episode) Candidates() []int { return ep.AppendCandidates(nil) }
 // returns a stable copy for everyone else. Callers should ensure
 // CanStep(idx).
 func (ep *Episode) TransitionScratch(idx int) *reward.Transition {
-	m := ep.env.catalog.At(idx)
+	f := &ep.env.facts[idx]
 	themeOK := true
 	if ep.env.hard.ThemeGap && len(ep.seq) > 0 {
-		prev := ep.env.catalog.At(ep.Last())
-		if m.Category != item.NoCategory && m.Category == prev.Category {
+		if f.category != item.NoCategory && f.category == ep.env.facts[ep.Last()].category {
 			themeOK = false
 		}
 	}
-	ep.candTypes[len(ep.seqTypes)] = m.Type
+	ep.candTypes[len(ep.seqTypes)] = f.typ
 	ep.scratch = reward.Transition{
-		SeqTypes:     ep.candTypes,
-		CoverageGain: m.Topics.NewCoverage(ep.current, ep.env.soft.Ideal),
+		SeqTypes: ep.candTypes,
+		// |T_ideal ∩ (T^m \ T_current)| = |(T^m ∩ T_ideal) \ T_current|,
+		// with the intersection precomputed per item in NewEnv.
+		CoverageGain: f.idealTopics.DifferenceCount(ep.current),
 		IdealSize:    ep.env.idealSize,
-		PrereqOK:     prereq.Satisfied(m.Prereq, len(ep.seq), ep.positions, ep.env.hard.Gap),
+		PrereqOK:     ep.prereqOK[idx],
 		ThemeOK:      themeOK,
-		Type:         m.Type,
-		Category:     m.Category,
-		Popularity:   m.Popularity,
+		Type:         f.typ,
+		Category:     f.category,
+		Popularity:   f.popularity,
 	}
 	return &ep.scratch
 }

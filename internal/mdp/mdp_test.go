@@ -2,11 +2,15 @@ package mdp_test
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
+	"github.com/rlplanner/rlplanner/internal/bitset"
 	"github.com/rlplanner/rlplanner/internal/fixture"
+	"github.com/rlplanner/rlplanner/internal/geo"
 	"github.com/rlplanner/rlplanner/internal/item"
 	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/prereq"
 	"github.com/rlplanner/rlplanner/internal/reward"
 	"github.com/rlplanner/rlplanner/internal/seqsim"
 )
@@ -279,6 +283,155 @@ func TestDistanceThresholdFiltersCandidates(t *testing.T) {
 	}
 	if ep.Distance() != 0 {
 		t.Fatalf("distance after start = %v", ep.Distance())
+	}
+}
+
+// TestPropertyEpisodeMatchesDirectRecomputation pins the precomputation
+// layer to the definitional path: random walks over the gap-3 course
+// environment and a distance-constrained trip environment, comparing every
+// candidate's Transition facts against recomputation from the catalog —
+// prereq.Satisfied over a freshly built position map (vs the incremental
+// prereqOK cache), NewCoverage over raw topic vectors (vs the precomputed
+// T^m ∩ T_ideal facts), and float64 Haversine path length (vs the float32
+// distance matrix).
+func TestPropertyEpisodeMatchesDirectRecomputation(t *testing.T) {
+	tripHard := fixture.TripHard()
+	tripHard.MaxDistanceKm = 15 // activate the distance matrix, loose enough to walk
+	tripRW := reward.DefaultTripConfig(fixture.TripTemplate())
+	tripDistEnv, err := mdp.NewEnv(fixture.Trip(), tripHard, fixture.TripSoft(), tripRW,
+		mdp.TimeBudget{Hours: 6, MaxItems: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := map[string]*mdp.Env{
+		"course":   courseEnv(t), // gap 3: frontier crossings lag admissions
+		"tripDist": tripDistEnv,  // theme gap + distance matrix
+	}
+	for name, env := range envs {
+		t.Run(name, func(t *testing.T) {
+			c := env.Catalog()
+			gap := env.Hard().Gap
+			ideal := env.Soft().Ideal
+			rng := rand.New(rand.NewSource(7))
+			for walk := 0; walk < 30; walk++ {
+				ep, err := env.Start(rng.Intn(env.NumItems()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for !ep.Done() {
+					seq := ep.Sequence()
+					// Definitional state, rebuilt from scratch each step.
+					posMap := make(map[string]int, len(seq))
+					current := bitset.New(c.Vocabulary().Len())
+					pathKm := 0.0
+					for p, it := range seq {
+						m := c.At(it)
+						posMap[m.ID] = p
+						current.UnionInPlace(m.Topics)
+						if p > 0 {
+							prev := c.At(seq[p-1])
+							pathKm += geo.Haversine(
+								geo.Point{Lat: prev.Lat, Lon: prev.Lon},
+								geo.Point{Lat: m.Lat, Lon: m.Lon})
+						}
+					}
+					if math.Abs(ep.Distance()-pathKm) > math.Max(pathKm*1e-6, 1e-9) {
+						t.Fatalf("walk %d len %d: Distance %v, haversine path %v",
+							walk, ep.Len(), ep.Distance(), pathKm)
+					}
+					for idx := 0; idx < env.NumItems(); idx++ {
+						skip := false
+						for _, it := range seq {
+							if it == idx {
+								skip = true
+							}
+						}
+						if skip {
+							continue
+						}
+						m := c.At(idx)
+						tr := ep.Transition(idx)
+						if want := prereq.Satisfied(m.Prereq, ep.Len(), posMap, gap); tr.PrereqOK != want {
+							t.Fatalf("walk %d len %d item %s: cached PrereqOK=%v, Satisfied=%v (seq %v)",
+								walk, ep.Len(), m.ID, tr.PrereqOK, want, seq)
+						}
+						if want := m.Topics.NewCoverage(current, ideal); tr.CoverageGain != want {
+							t.Fatalf("walk %d len %d item %s: CoverageGain=%d, NewCoverage=%d",
+								walk, ep.Len(), m.ID, tr.CoverageGain, want)
+						}
+					}
+					cands := ep.Candidates()
+					if len(cands) == 0 {
+						break
+					}
+					ep.Step(cands[rng.Intn(len(cands))])
+				}
+			}
+		})
+	}
+}
+
+// TestEpisodeResetMatchesFreshStart checks that a recycled episode is
+// observationally identical to a freshly started one: after any walk,
+// Reset must leave no residue in the coverage set, position array, chosen
+// flags or prerequisite cache.
+func TestEpisodeResetMatchesFreshStart(t *testing.T) {
+	for name, env := range map[string]*mdp.Env{"course": courseEnv(t), "trip": tripEnv(t)} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			recycled, err := env.Start(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				// Dirty the recycled episode with a random walk.
+				for !recycled.Done() {
+					cands := recycled.Candidates()
+					if len(cands) == 0 {
+						break
+					}
+					recycled.Step(cands[rng.Intn(len(cands))])
+				}
+				start := rng.Intn(env.NumItems())
+				if err := recycled.Reset(start); err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := env.Start(start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Replay an identical walk on both and compare everything.
+				for !fresh.Done() {
+					if recycled.Len() != fresh.Len() || recycled.Credits() != fresh.Credits() ||
+						recycled.Distance() != fresh.Distance() ||
+						!recycled.Coverage().Equal(fresh.Coverage()) {
+						t.Fatalf("trial %d: state diverged at len %d", trial, fresh.Len())
+					}
+					cands := fresh.Candidates()
+					gotCands := recycled.Candidates()
+					if len(cands) != len(gotCands) {
+						t.Fatalf("trial %d: candidates %v vs %v", trial, gotCands, cands)
+					}
+					for i := range cands {
+						if cands[i] != gotCands[i] {
+							t.Fatalf("trial %d: candidates %v vs %v", trial, gotCands, cands)
+						}
+						want, got := fresh.Transition(cands[i]), recycled.Transition(cands[i])
+						if want.PrereqOK != got.PrereqOK || want.ThemeOK != got.ThemeOK ||
+							want.CoverageGain != got.CoverageGain {
+							t.Fatalf("trial %d item %d: transition %+v vs %+v", trial, cands[i], got, want)
+						}
+					}
+					if len(cands) == 0 {
+						break
+					}
+					next := cands[rng.Intn(len(cands))]
+					if r1, r2 := fresh.Step(next), recycled.Step(next); r1 != r2 {
+						t.Fatalf("trial %d: reward %v vs %v", trial, r2, r1)
+					}
+				}
+			}
+		})
 	}
 }
 

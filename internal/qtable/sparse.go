@@ -86,17 +86,40 @@ func (t *Sparse) Update(s, e int, alpha, r, gamma float64, sNext, eNext int) flo
 }
 
 // ArgMax matches Table.ArgMax: absent entries count as 0, ties resolve to
-// the lowest index.
+// the lowest index. It scans only the stored row — O(entries) instead of n
+// bounds-checked map lookups — and consults the absent-entry default (0)
+// only when no stored value is positive. Stored values are never exactly 0
+// (Set deletes zero writes), so a stored maximum > 0 can never tie with an
+// absent entry.
 func (t *Sparse) ArgMax(s int, allowed func(e int) bool) (int, bool) {
+	if t.n == 0 {
+		return -1, false
+	}
+	t.check(s, 0)
 	best, found := math.Inf(-1), false
 	e := -1
+	for a32, v := range t.rows[s] {
+		a := int(a32)
+		if allowed != nil && !allowed(a) {
+			continue
+		}
+		if !found || v > best || (v == best && a < e) {
+			best, e, found = v, a, true
+		}
+	}
+	if found && best > 0 {
+		return e, true
+	}
+	// Every allowed stored value is ≤ 0 (or nothing is stored): the lowest
+	// allowed index WITHOUT a stored entry reads as 0 and wins. If every
+	// allowed index is stored, the stored maximum stands.
+	row := t.rows[s]
 	for a := 0; a < t.n; a++ {
 		if allowed != nil && !allowed(a) {
 			continue
 		}
-		v := t.Get(s, a)
-		if !found || v > best {
-			best, e, found = v, a, true
+		if _, stored := row[int32(a)]; !stored {
+			return a, true
 		}
 	}
 	return e, found

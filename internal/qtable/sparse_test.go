@@ -92,6 +92,56 @@ func TestSparseMatchesDenseUpdates(t *testing.T) {
 	}
 }
 
+func TestSparseArgMaxMatchesDense(t *testing.T) {
+	// Dedicated ArgMax equivalence: the stored-row scan must agree with
+	// Table.ArgMax everywhere, including the cases the fast path special-
+	// cases — all-negative rows (where an absent entry's implicit 0 wins),
+	// exact positive ties (lowest index wins), fully-populated rows and
+	// restrictive masks.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		dense := New(n)
+		sparse := NewSparse(n)
+		// Values from a small discrete set force frequent exact ties; the
+		// negative-leaning mix exercises the absent-beats-stored path.
+		vals := []float64{-2, -1, -0.5, 0.5, 1, 2}
+		fill := rng.Intn(3) // 0: sparse row, 1: dense-ish, 2: full
+		for s := 0; s < n; s++ {
+			for e := 0; e < n; e++ {
+				if fill < 2 && rng.Intn(3) != fill {
+					continue
+				}
+				v := vals[rng.Intn(len(vals))]
+				dense.Set(s, e, v)
+				sparse.Set(s, e, v)
+			}
+		}
+		for trial := 0; trial < 2*n; trial++ {
+			s := rng.Intn(n)
+			var mask func(int) bool
+			switch rng.Intn(3) {
+			case 1:
+				banned := rng.Intn(n)
+				mask = func(a int) bool { return a != banned }
+			case 2:
+				keep := rng.Intn(n)
+				mask = func(a int) bool { return a%(keep+1) == 0 }
+			}
+			de, dok := dense.ArgMax(s, mask)
+			se, sok := sparse.ArgMax(s, mask)
+			if de != se || dok != sok {
+				t.Logf("n=%d s=%d: dense=(%d,%v) sparse=(%d,%v)", n, s, de, dok, se, sok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSparseToDense(t *testing.T) {
 	q := NewSparse(5)
 	q.Set(0, 4, 2)

@@ -17,7 +17,6 @@ import (
 	"sort"
 
 	"github.com/rlplanner/rlplanner/internal/constraints"
-	"github.com/rlplanner/rlplanner/internal/geo"
 	"github.com/rlplanner/rlplanner/internal/item"
 	"github.com/rlplanner/rlplanner/internal/mdp"
 	"github.com/rlplanner/rlplanner/internal/qtable"
@@ -171,13 +170,21 @@ func Learn(env *mdp.Env, cfg Config) (*Result, error) {
 	returns := make([]float64, 0, cfg.Episodes)
 	eps := cfg.explore()
 	var sc scratch // reused across every episode and step
+	var ep *mdp.Episode
 
 	for i := 0; i < cfg.Episodes; i++ {
 		start := cfg.Start
 		if start == RandomStart {
 			start = rng.Intn(n)
 		}
-		ep, err := env.Start(start)
+		// One Episode serves the whole run: Reset reuses its buffers, so
+		// the per-episode cost is O(n) clears with no allocation.
+		var err error
+		if ep == nil {
+			ep, err = env.Start(start)
+		} else {
+			err = ep.Reset(start)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -450,23 +457,19 @@ func guidedMask(env *mdp.Env, ep *mdp.Episode) func(int) bool {
 		inner := typeOK
 		remTime := hard.Credits - ep.Credits()
 		remDist := hard.MaxDistanceKm - ep.Distance()
-		last := catalog.At(ep.Last())
+		last := ep.Last()
 		const slack = 1.6
 		typeOK = func(a int) bool {
 			if !inner(a) {
 				return false
 			}
-			m := catalog.At(a)
-			if m.Credits > slack*remTime/float64(left) {
+			if catalog.At(a).Credits > slack*remTime/float64(left) {
 				return false
 			}
-			if hard.MaxDistanceKm > 0 {
-				leg := geo.Haversine(
-					geo.Point{Lat: last.Lat, Lon: last.Lon},
-					geo.Point{Lat: m.Lat, Lon: m.Lon})
-				if leg > slack*remDist/float64(left) {
-					return false
-				}
+			// env.Dist serves legs from the environment's precomputed
+			// distance matrix, the same geometry the step loop measures.
+			if hard.MaxDistanceKm > 0 && env.Dist(last, a) > slack*remDist/float64(left) {
+				return false
 			}
 			return cheapestCompletionFits(ep, catalog, hard, a, left-1)
 		}

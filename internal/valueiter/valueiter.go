@@ -141,15 +141,22 @@ func expectedRewards(env *mdp.Env, cfg Config) ([][]float64, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rollouts := cfg.RolloutSamples * n
+	var cands []int // reused across rollouts; the step loop allocates nothing
+	var ep *mdp.Episode
 	for k := 0; k < rollouts; k++ {
 		start := rng.Intn(n)
-		ep, err := env.Start(start)
+		var err error
+		if ep == nil {
+			ep, err = env.Start(start)
+		} else {
+			err = ep.Reset(start)
+		}
 		if err != nil {
 			return nil, err
 		}
 		s := start
 		for !ep.Done() {
-			cands := ep.Candidates()
+			cands = ep.AppendCandidates(cands[:0])
 			if len(cands) == 0 {
 				break
 			}
