@@ -5,9 +5,15 @@ GO ?= go
 # change.
 RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/...
 
-.PHONY: check vet build test race bench-hot bench-json
+# Packages holding the resilience layer and its fault-injection matrix:
+# the scriptable fault engine driven through the live HTTP stack
+# (panic, hang, malformed policy, scripted failures, admission control)
+# plus the daemon's signal-drain tests.
+FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-check: vet build test race
+.PHONY: check vet build test race faults bench-hot bench-json
+
+check: vet build test race faults
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +26,11 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Fault-injection matrix under the race detector: every scripted fault
+# must yield a degraded plan or a clean 5xx, never a crash (DESIGN §10).
+faults:
+	$(GO) test -race $(FAULT_PKGS)
 
 # Microbenchmarks for the per-step MDP loop; run with -benchmem so alloc
 # regressions are visible.

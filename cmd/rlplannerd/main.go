@@ -6,6 +6,7 @@
 //	GET  /api/instances                  list built-in instances
 //	GET  /api/instances/{name}           instance catalog
 //	GET  /api/engines                    list registered planning engines
+//	GET  /api/metrics                    resilience fault counters
 //	GET  /api/policies                   list cached policies
 //	POST /api/policies/export            train and download a policy artifact
 //	POST /api/policies/import?instance=  upload an artifact for serving
@@ -17,15 +18,29 @@
 //	POST /api/sessions/{id}/reject       {"item": "CS 683"}
 //	POST /api/sessions/{id}/complete     auto-complete and evaluate
 //
+// The daemon is resilient by construction: each training run is bounded
+// by -train-timeout (the SARSA engines checkpoint a partial policy at
+// the deadline), concurrent cold starts are capped by -max-training
+// (excess requests get 503 + Retry-After), solver panics degrade the one
+// faulting policy key instead of the process, and SIGTERM/SIGINT drains
+// in-flight requests before exiting.
+//
 // Usage:
 //
-//	rlplannerd [-addr :8080] [-policy-cache 128]
+//	rlplannerd [-addr :8080] [-policy-cache 128] [-train-timeout 0]
+//	           [-max-training 0] [-drain-timeout 10s]
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/rlplanner/rlplanner/internal/httpapi"
 )
@@ -33,11 +48,58 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("policy-cache", 0, "max cached policies (0 = default 128)")
+	trainTimeout := flag.Duration("train-timeout", 0,
+		"wall-clock budget per training run (0 = unbounded); sarsa and qlearning checkpoint a partial policy at the deadline")
+	maxTraining := flag.Int("max-training", 0,
+		"max concurrent cold-start trainings (0 = unlimited); requests beyond the cap get 503 + Retry-After")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"grace period for in-flight requests after SIGTERM/SIGINT")
 	flag.Parse()
 
-	srv := httpapi.New(httpapi.WithPolicyCacheSize(*cache))
-	log.Printf("rlplannerd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("rlplannerd listening on %s", ln.Addr())
+	if err := serve(ln, stop, *drainTimeout,
+		httpapi.WithPolicyCacheSize(*cache),
+		httpapi.WithTrainBudget(*trainTimeout),
+		httpapi.WithMaxTraining(*maxTraining),
+	); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the API on ln until a stop signal arrives, then drains
+// in-flight requests via http.Server.Shutdown bounded by drainTimeout
+// (0 = wait indefinitely). It returns nil after a clean drain, the
+// shutdown context's error when the grace period expires with requests
+// still active (after force-closing them), or the listener's error.
+func serve(ln net.Listener, stop <-chan os.Signal, drainTimeout time.Duration, opts ...httpapi.Option) error {
+	api := httpapi.New(opts...)
+	srv := &http.Server{Handler: api.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("rlplannerd: %v: draining in-flight requests (grace %s)", sig, drainTimeout)
+		ctx := context.Background()
+		if drainTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, drainTimeout)
+			defer cancel()
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+			return err
+		}
+		return nil
 	}
 }

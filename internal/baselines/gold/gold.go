@@ -11,6 +11,7 @@
 package gold
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -63,20 +64,37 @@ func (d distCache) leg(i, j int) float64 {
 // like a travel agent: greedily add the most popular POI that keeps every
 // hard constraint satisfied, until the budget is spent.
 func Plan(inst *dataset.Instance) ([]int, error) {
+	return PlanContext(context.Background(), inst)
+}
+
+// PlanContext is Plan under a context: the DFS checks the deadline every
+// ctxCheckStride nodes and the greedy itinerary builder checks it per
+// slot, so a canceled training budget abandons the synthesis promptly
+// instead of exploring up to the full node cap.
+func PlanContext(ctx context.Context, inst *dataset.Instance) ([]int, error) {
 	if inst.Hard.Length() == 0 {
-		return greedyPopular(inst)
+		return greedyPopular(ctx, inst)
 	}
 	for _, perm := range inst.Soft.Template {
-		if plan := fill(inst, perm); plan != nil {
+		plan, err := fill(ctx, inst, perm)
+		if err != nil {
+			return nil, err
+		}
+		if plan != nil {
 			return plan, nil
 		}
 	}
 	return nil, fmt.Errorf("gold: no constraint-perfect plan exists for %s", inst.Name)
 }
 
+// ctxCheckStride is how many DFS nodes may expand between context
+// checks — frequent enough to cancel within microseconds, rare enough to
+// keep the check out of the per-node cost.
+const ctxCheckStride = 256
+
 // greedyPopular builds the travel-agent gold itinerary: highest-popularity
 // feasible POI first, repeated until nothing fits the time budget.
-func greedyPopular(inst *dataset.Instance) ([]int, error) {
+func greedyPopular(ctx context.Context, inst *dataset.Instance) ([]int, error) {
 	c := inst.Catalog
 	h := inst.Hard
 	var plan []int
@@ -87,6 +105,9 @@ func greedyPopular(inst *dataset.Instance) ([]int, error) {
 
 	// Seed with the single most popular POI.
 	for len(plan) < c.Len() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best, bestPop := -1, -1.0
 		for idx := 0; idx < c.Len(); idx++ {
 			if chosen[idx] {
@@ -133,6 +154,7 @@ func greedyPopular(inst *dataset.Instance) ([]int, error) {
 
 // searchState tracks the DFS bookkeeping.
 type searchState struct {
+	ctx       context.Context
 	inst      *dataset.Instance
 	perm      []item.Type
 	plan      []int
@@ -142,12 +164,14 @@ type searchState struct {
 	credits   float64
 	distance  float64
 	nodes     int
+	err       error // ctx error that aborted the search, if any
 }
 
-// fill attempts to realize one permutation; nil when impossible within the
-// node budget.
-func fill(inst *dataset.Instance, perm []item.Type) []int {
+// fill attempts to realize one permutation; (nil, nil) when impossible
+// within the node budget, an error only when the context was canceled.
+func fill(ctx context.Context, inst *dataset.Instance, perm []item.Type) ([]int, error) {
 	st := &searchState{
+		ctx:       ctx,
 		inst:      inst,
 		perm:      perm,
 		positions: make(map[string]int, len(perm)),
@@ -155,9 +179,9 @@ func fill(inst *dataset.Instance, perm []item.Type) []int {
 		dc:        newDistCache(inst.Catalog, inst.Hard.MaxDistanceKm > 0),
 	}
 	if st.dfs(0) {
-		return st.plan
+		return st.plan, nil
 	}
-	return nil
+	return nil, st.err
 }
 
 func (st *searchState) dfs(pos int) bool {
@@ -169,10 +193,16 @@ func (st *searchState) dfs(pos int) bool {
 		}
 		return true
 	}
-	if st.nodes >= maxNodes {
+	if st.nodes >= maxNodes || st.err != nil {
 		return false
 	}
 	for _, cand := range st.candidates(pos) {
+		if st.nodes%ctxCheckStride == 0 {
+			if err := st.ctx.Err(); err != nil {
+				st.err = err
+				return false
+			}
+		}
 		st.nodes++
 		st.push(pos, cand)
 		if st.dfs(pos + 1) {

@@ -1,0 +1,32 @@
+package gold
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+)
+
+// TestPlanContextCanceled pins the training-budget contract: a canceled
+// context aborts the template search with the context's error instead of
+// exploring up to the node cap.
+func TestPlanContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PlanContext(ctx, univ.Univ1DSCT()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPlanContextBackground keeps the ordinary path intact: without a
+// deadline the synthesizer still finds the constraint-perfect plan.
+func TestPlanContextBackground(t *testing.T) {
+	seq, err := PlanContext(context.Background(), univ.Univ1DSCT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty gold plan")
+	}
+}

@@ -18,6 +18,7 @@
 package omega
 
 import (
+	"context"
 	"sort"
 
 	"github.com/rlplanner/rlplanner/internal/item"
@@ -28,16 +29,27 @@ import (
 // CoCoverage builds the redesigned OMEGA matrix: M[i][j] = |T_i ∪ T_j|,
 // the total number of topics items i and j cover together.
 func CoCoverage(c *item.Catalog) [][]int {
+	m, _ := CoCoverageContext(context.Background(), c)
+	return m
+}
+
+// CoCoverageContext is CoCoverage under a context: the O(n²) union scan
+// checks the deadline once per row, so a canceled training budget
+// abandons the matrix promptly instead of finishing a large catalog.
+func CoCoverageContext(ctx context.Context, c *item.Catalog) ([][]int, error) {
 	n := c.Len()
 	m := make([][]int, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m[i] = make([]int, n)
 		ti := c.At(i).Topics
 		for j := 0; j < n; j++ {
 			m[i][j] = ti.Union(c.At(j).Topics).Count()
 		}
 	}
-	return m
+	return m, nil
 }
 
 // CoVisit builds OMEGA's *original* utility matrix from consumption logs:

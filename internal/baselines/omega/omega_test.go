@@ -1,0 +1,32 @@
+package omega
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/dataset/univ"
+)
+
+// TestCoCoverageContextCanceled pins the training-budget contract: a
+// canceled context aborts the utility-matrix computation promptly.
+func TestCoCoverageContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CoCoverageContext(ctx, univ.Univ1DSCT().Catalog); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCoCoverageContextMatchesPlain keeps both entry points in lockstep.
+func TestCoCoverageContextMatchesPlain(t *testing.T) {
+	c := univ.Univ1DSCT().Catalog
+	got, err := CoCoverageContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := CoCoverage(c); !reflect.DeepEqual(got, want) {
+		t.Fatal("CoCoverageContext diverges from CoCoverage")
+	}
+}

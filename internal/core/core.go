@@ -6,7 +6,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/dataset"
@@ -62,6 +64,15 @@ type Options struct {
 	// MaxDistanceKm overrides the trip distance threshold d; negative
 	// disables the check.
 	MaxDistanceKm float64
+	// TrainBudget bounds the wall-clock time of one training run (0 = no
+	// bound). The engine layer derives a deadline context from it; SARSA
+	// checkpoints its Q table at the deadline and returns the best-so-far
+	// policy marked "partial" instead of an error.
+	TrainBudget time.Duration
+	// OnEpisode, when non-nil, observes each completed learning episode
+	// (sarsa.Config.OnEpisode) — an observability/test hook, not a
+	// learning knob.
+	OnEpisode func(i int)
 }
 
 // Planner is a configured RL-Planner for one instance.
@@ -146,6 +157,7 @@ func New(inst *dataset.Instance, opts Options) (*Planner, error) {
 		Explore:        opts.Explore,
 		DisableExplore: opts.DisableExplore,
 		Seed:           opts.Seed,
+		OnEpisode:      opts.OnEpisode,
 	}
 	if opts.Episodes != 0 {
 		sc.Episodes = opts.Episodes
@@ -189,7 +201,16 @@ func (p *Planner) SarsaConfig() sarsa.Config { return p.sarsaCfg }
 // Learn runs the learning phase. It may be called again to relearn (e.g.
 // after option changes via a new Planner); the latest result wins.
 func (p *Planner) Learn() error {
-	res, err := sarsa.Learn(p.env, p.sarsaCfg)
+	return p.LearnContext(context.Background())
+}
+
+// LearnContext is Learn under a context deadline. When the context
+// expires mid-run, the learner checkpoints: the best-so-far policy is
+// installed and Partial reports true — the deadline produced a degraded
+// policy, not a failure. A context dead before the first episode is an
+// error and leaves any previous result in place.
+func (p *Planner) LearnContext(ctx context.Context) error {
+	res, err := sarsa.LearnContext(ctx, p.env, p.sarsaCfg)
 	if err != nil {
 		return err
 	}
@@ -199,6 +220,10 @@ func (p *Planner) Learn() error {
 
 // Learned reports whether a policy is available.
 func (p *Planner) Learned() bool { return p.result != nil }
+
+// Partial reports whether the last Learn was checkpointed at a context
+// deadline before completing its episode budget.
+func (p *Planner) Partial() bool { return p.result != nil && p.result.Interrupted }
 
 // Policy returns the learned policy, or nil before Learn.
 func (p *Planner) Policy() *sarsa.Policy {

@@ -89,3 +89,29 @@ type Converger interface {
 	// convergence.
 	Iterations() int
 }
+
+// DegradedPolicy is implemented by policies that carry a degradation
+// marker. Every built-in policy implements it; Degradation returns ""
+// for a fully trained artifact and a short reason otherwise —
+// DegradedPartial for a SARSA run checkpointed at its training deadline.
+// Serving layers surface the marker ("degraded": true) so clients can
+// tell a best-effort answer from a converged one.
+type DegradedPolicy interface {
+	Policy
+	// Degradation returns "" for a complete policy, or the reason the
+	// artifact is best-effort (e.g. DegradedPartial).
+	Degradation() string
+}
+
+// DegradedPartial marks a policy checkpointed at a training deadline:
+// usable, validity-guarded, but short of its configured episode budget.
+const DegradedPartial = "partial"
+
+// Degradation reports a policy's degradation marker, "" for policies
+// that are complete or carry no marker.
+func Degradation(p Policy) string {
+	if d, ok := p.(DegradedPolicy); ok {
+		return d.Degradation()
+	}
+	return ""
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
+	"github.com/rlplanner/rlplanner/internal/resilience"
 )
 
 // TrainFunc runs one solver's training phase for a bound configuration.
@@ -55,6 +56,30 @@ func Register(d Descriptor) {
 		registry.byName[key] = &dd
 	}
 	registry.names = append(registry.names, d.Name)
+}
+
+// Unregister removes an engine (canonical name or alias) together with
+// every alias it was registered under. It exists for scoped test engines
+// — the fault-injection harness registers a scriptable engine per test
+// and removes it on cleanup, so repeated registrations in one binary
+// never collide with Register's duplicate panic. Unknown names are a
+// no-op. Production engines register in init and are never removed.
+func Unregister(name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	d, ok := registry.byName[strings.ToLower(name)]
+	if !ok {
+		return
+	}
+	for _, key := range append([]string{d.Name}, d.Aliases...) {
+		delete(registry.byName, strings.ToLower(key))
+	}
+	for i, n := range registry.names {
+		if n == d.Name {
+			registry.names = append(registry.names[:i], registry.names[i+1:]...)
+			break
+		}
+	}
 }
 
 // lookup resolves a (case-insensitive) name or alias.
@@ -120,11 +145,23 @@ func New(name string, inst *dataset.Instance, opts core.Options) (Planner, error
 
 func (b *binding) Engine() string { return b.d.Name }
 
+// Train runs the solver inside the resilience boundary: the configured
+// training budget (core.Options.TrainBudget) becomes a context deadline,
+// and a solver panic is recovered into a typed *resilience.PanicError
+// instead of unwinding into the caller — one corrupted run must poison
+// one cache key, not the process.
 func (b *binding) Train(ctx context.Context) (Policy, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine %s: %w", b.d.Name, err)
 	}
-	return b.d.Train(ctx, b.inst, b.opts)
+	if b.opts.TrainBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.opts.TrainBudget)
+		defer cancel()
+	}
+	return resilience.Guard("engine "+b.d.Name, func() (Policy, error) {
+		return b.d.Train(ctx, b.inst, b.opts)
+	})
 }
 
 // Train is the one-shot convenience: bind the named engine and train.

@@ -60,12 +60,16 @@ type meta struct {
 	instance string
 	fp       string
 	hard     constraints.Hard
+	// degraded is "" for complete artifacts, DegradedPartial for a run
+	// checkpointed at its training deadline.
+	degraded string
 }
 
 func (m meta) Engine() string         { return m.engine }
 func (m meta) Instance() string       { return m.instance }
 func (m meta) Fingerprint() string    { return m.fp }
 func (m meta) Hard() constraints.Hard { return m.hard }
+func (m meta) Degradation() string    { return m.degraded }
 
 func metaFor(engine string, inst *dataset.Instance, hard constraints.Hard) meta {
 	return meta{engine: engine, instance: inst.Name, fp: Fingerprint(inst), hard: hard}
@@ -137,11 +141,19 @@ func trainTD(alg sarsa.Algorithm) TrainFunc {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := p.Learn(); err != nil {
+		// LearnContext checkpoints at the deadline: a run interrupted
+		// after ≥1 episode yields the best-so-far Q table, which the
+		// guided recommendation walk can still serve validly — the
+		// artifact is marked partial rather than failing the request.
+		if err := p.LearnContext(ctx); err != nil {
 			return nil, err
 		}
+		m := metaFor(name, inst, p.Env().Hard())
+		if p.Partial() {
+			m.degraded = DegradedPartial
+		}
 		return &valuePolicy{
-			meta:   metaFor(name, inst, p.Env().Hard()),
+			meta:   m,
 			env:    p.Env(),
 			start:  p.SarsaConfig().Start,
 			values: p.Policy(),
@@ -177,12 +189,20 @@ func trainValueIter(ctx context.Context, inst *dataset.Instance, opts core.Optio
 	}, nil
 }
 
-func trainEDA(_ context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+func trainEDA(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := core.New(inst, opts)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	env, seed := p.Env(), opts.Seed
+	// The greedy walk itself runs at Recommend time under the serving
+	// path's own guard; the training context must not outlive Train.
 	return &walkPolicy{
 		meta:  metaFor("eda", inst, env.Hard()),
 		start: p.SarsaConfig().Start,
@@ -191,15 +211,22 @@ func trainEDA(_ context.Context, inst *dataset.Instance, opts core.Options) (Pol
 	}, nil
 }
 
-func trainOmega(_ context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+func trainOmega(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := core.New(inst, opts)
 	if err != nil {
 		return nil, err
 	}
 	env := p.Env()
 	// The co-coverage utility matrix is start-independent: compute it once
-	// at train time, share it across Recommend calls.
-	m := omega.CoCoverage(env.Catalog())
+	// at train time (checking the deadline per row), share it across
+	// Recommend calls.
+	m, err := omega.CoCoverageContext(ctx, env.Catalog())
+	if err != nil {
+		return nil, err
+	}
 	return &walkPolicy{
 		meta:  metaFor("omega", inst, env.Hard()),
 		start: p.SarsaConfig().Start,
@@ -207,11 +234,14 @@ func trainOmega(_ context.Context, inst *dataset.Instance, opts core.Options) (P
 	}, nil
 }
 
-func trainGold(_ context.Context, inst *dataset.Instance, _ core.Options) (Policy, error) {
+func trainGold(ctx context.Context, inst *dataset.Instance, _ core.Options) (Policy, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// The gold synthesizer is the pure train-once case: the plan does not
-	// depend on the start item, so Train computes it and Recommend only
-	// copies it out.
-	seq, err := gold.Plan(inst)
+	// depend on the start item, so Train computes it (under the training
+	// deadline) and Recommend only copies it out.
+	seq, err := gold.PlanContext(ctx, inst)
 	if err != nil {
 		return nil, err
 	}

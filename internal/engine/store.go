@@ -136,6 +136,20 @@ func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, 
 	return c.val, true, c.err
 }
 
+// Remove evicts key from the cache. The serving layer uses it to drop a
+// policy that failed at Recommend time (a malformed artifact), so the
+// next request retrains instead of re-serving the bad value. An
+// in-flight training call for the key is unaffected. Removing an absent
+// key is a no-op.
+func (s *Store[V]) Remove(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.Remove(el)
+		delete(s.entries, key)
+	}
+}
+
 // Len returns the number of cached policies.
 func (s *Store[V]) Len() int {
 	s.mu.Lock()

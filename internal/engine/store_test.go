@@ -201,3 +201,42 @@ func TestStoreKeyScaling(t *testing.T) {
 		t.Fatal("most recent key missing")
 	}
 }
+
+// TestStoreRemove pins the serving layer's malformed-artifact eviction:
+// Remove drops a cached value so the next request retrains, absent keys
+// are a no-op, and an in-flight training run is unaffected.
+func TestStoreRemove(t *testing.T) {
+	s := NewStore[int](4)
+	s.Add("k", 1)
+	s.Remove("k")
+	if _, ok := s.Cached("k"); ok {
+		t.Fatal("removed key still cached")
+	}
+	s.Remove("absent") // no-op
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	v, ran, err := s.GetOrTrain(context.Background(), "k", func() (int, error) { return 2, nil })
+	if err != nil || !ran || v != 2 {
+		t.Fatalf("retrain after Remove = %d, %v, %v", v, ran, err)
+	}
+
+	// Removing a key mid-training must not disturb the in-flight run.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		v, _, _ := s.GetOrTrain(context.Background(), "live", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		done <- v
+	}()
+	<-started
+	s.Remove("live")
+	close(release)
+	if v := <-done; v != 7 {
+		t.Fatalf("in-flight training returned %d", v)
+	}
+}

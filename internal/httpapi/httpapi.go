@@ -21,9 +21,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/rlplanner/rlplanner"
 	"github.com/rlplanner/rlplanner/internal/engine"
+	"github.com/rlplanner/rlplanner/internal/resilience"
 )
 
 // Server holds the HTTP state: the policy store and live interactive
@@ -36,6 +38,20 @@ type Server struct {
 	nextID   int
 
 	policies *engine.Store[*rlplanner.Policy]
+
+	// trainBudget bounds each cold-start training run (0 = unbounded).
+	// Engines that can checkpoint (sarsa, qlearning) return a partial
+	// policy at the deadline; the rest fail into the degradation ladder.
+	trainBudget time.Duration
+	// training admission-controls concurrent cold-start runs; nil means
+	// unlimited. Cached serving is never gated.
+	training *resilience.Semaphore
+	// breaker holds per-policy-key retry backoff after training faults.
+	breaker *resilience.Breaker
+	// fallback names the engine that serves degraded plans when the
+	// requested engine faults; "" disables the ladder's fallback rung.
+	fallback string
+	metrics  resilience.Metrics
 
 	// onTrain, when set, observes every actual training run (not cache
 	// hits or singleflight followers). Tests use it to count and to
@@ -57,12 +73,49 @@ func WithPolicyCacheSize(n int) Option {
 	return func(s *Server) { s.policies = engine.NewStore[*rlplanner.Policy](n) }
 }
 
+// WithTrainBudget bounds the wall-clock time of every cold-start training
+// run (0 or negative disables the bound). The budget is attached to the
+// detached training context, so it holds even after the originating
+// request disconnects.
+func WithTrainBudget(d time.Duration) Option {
+	return func(s *Server) {
+		if d < 0 {
+			d = 0
+		}
+		s.trainBudget = d
+	}
+}
+
+// WithMaxTraining caps concurrent cold-start training runs; requests
+// beyond the cap are shed with 503 + Retry-After instead of queued
+// (n <= 0 = unlimited). Cached policies keep serving at any load.
+func WithMaxTraining(n int) Option {
+	return func(s *Server) { s.training = resilience.NewSemaphore(n) }
+}
+
+// WithRetryBackoff overrides the exponential backoff schedule applied to
+// a policy key after its training panics or times out (zero durations
+// select the resilience defaults). Tests use short windows.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(s *Server) { s.breaker = resilience.NewBreaker(base, max) }
+}
+
+// WithFallbackEngine sets the engine that serves degraded plans when the
+// requested engine faults ("" disables the fallback rung entirely). The
+// default is "gold": the feasible-baseline synthesizer, the cheapest
+// engine that still honors every hard constraint.
+func WithFallbackEngine(name string) Option {
+	return func(s *Server) { s.fallback = name }
+}
+
 // New returns an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
 		sessions: make(map[string]*sessionState),
 		custom:   make(map[string]*rlplanner.Instance),
 		policies: engine.NewStore[*rlplanner.Policy](0),
+		breaker:  resilience.NewBreaker(0, 0),
+		fallback: "gold",
 	}
 	for _, o := range opts {
 		o(s)
@@ -88,6 +141,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/instances", s.createInstance)
 	mux.HandleFunc("GET /api/instances/{name}", s.getInstance)
 	mux.HandleFunc("GET /api/engines", s.listEngines)
+	mux.HandleFunc("GET /api/metrics", s.getMetrics)
 	mux.HandleFunc("GET /api/policies", s.listPolicies)
 	mux.HandleFunc("POST /api/policies/export", s.exportPolicy)
 	mux.HandleFunc("POST /api/policies/import", s.importPolicy)
@@ -252,20 +306,45 @@ func (r planRequest) policyKey(engineName string) string {
 
 // policy returns the trained policy for the request: from the store when
 // cached (never blocking on any training run), otherwise training it
-// behind the per-key singleflight. Training deliberately runs under a
-// background context — a canceled request must not abort a run that
-// concurrent followers are waiting on.
+// behind the per-key singleflight under the server's resilience rules —
+// retry backoff for keys whose training recently faulted, admission
+// control over concurrent cold starts, and the training budget.
+//
+// Training runs under a detached-but-bounded context: detached from the
+// request (a canceled request must not abort a run that concurrent
+// followers are waiting on) yet bounded by the training budget, so an
+// abandoned run cannot hold a training slot forever.
 func (s *Server) policy(ctx context.Context, inst *rlplanner.Instance, engineName string, req planRequest) (*rlplanner.Policy, error) {
 	key := req.policyKey(engineName)
 	if pol, ok := s.policies.Cached(key); ok {
 		return pol, nil
 	}
-	pol, _, err := s.policies.GetOrTrain(ctx, key, func() (*rlplanner.Policy, error) {
+	if ok, wait := s.breaker.Allow(key); !ok {
+		s.metrics.Rejections.Add(1)
+		return nil, &backoffError{wait: wait}
+	}
+	trainCtx := context.WithoutCancel(ctx)
+	cancel := context.CancelFunc(func() {})
+	if s.trainBudget > 0 {
+		trainCtx, cancel = context.WithTimeout(trainCtx, s.trainBudget)
+	}
+	defer cancel()
+	pol, ran, err := s.policies.GetOrTrain(ctx, key, func() (*rlplanner.Policy, error) {
+		if !s.training.TryAcquire() {
+			return nil, errOverCapacity
+		}
+		defer s.training.Release()
 		if s.onTrain != nil {
 			s.onTrain(key)
 		}
-		return rlplanner.Train(context.Background(), inst, engineName, req.options())
+		return rlplanner.Train(trainCtx, inst, engineName, req.options())
 	})
+	if ran {
+		// Only the singleflight leader updates the breaker and counters:
+		// followers share its outcome, and counting them would multiply
+		// one fault into many.
+		s.noteOutcome(key, pol, err)
+	}
 	return pol, err
 }
 
@@ -287,17 +366,26 @@ func (s *Server) plan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pol, err := s.policy(r.Context(), inst, engineName, req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	resp, err := s.planWith(r.Context(), inst, engineName, req)
+	if err == nil {
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	plan, err := pol.Recommend("")
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	// Degradation ladder: a resilience-class fault of the requested
+	// engine (panic, blown deadline, backoff window, serving failure) is
+	// answered by the fallback engine's feasible plan, tagged degraded.
+	// Config errors and capacity rejections skip the ladder — the former
+	// are the client's to fix, the latter must shed load, not add more.
+	if s.fallback != "" && engineName != s.fallback && resilientFailure(err) {
+		if fb, fbErr := s.planWith(r.Context(), inst, s.fallback, req); fbErr == nil {
+			s.metrics.Fallbacks.Add(1)
+			fb.Degraded = true
+			fb.DegradedReason = degradedReason(err)
+			writeJSON(w, http.StatusOK, fb)
+			return
+		}
 	}
-	writeJSON(w, http.StatusOK, plan)
+	s.writePlanError(w, err)
 }
 
 // policyInfo describes one cached policy.
@@ -341,7 +429,7 @@ func (s *Server) exportPolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	pol, err := s.policy(r.Context(), inst, engineName, req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writePlanError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -439,9 +527,11 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Sessions have no fallback rung: only value-based policies can drive
+	// them, so a fault maps straight to its status.
 	pol, err := s.policy(r.Context(), inst, engineName, req.planRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writePlanError(w, err)
 		return
 	}
 	sess, err := pol.NewSession(req.Suggestions)

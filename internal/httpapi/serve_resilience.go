@@ -1,0 +1,179 @@
+// Serving-side resilience: the error taxonomy, the guarded recommend
+// path and the status mapping that realize the degradation ladder
+// (engine → bounded retry → fallback engine → load shedding) over the
+// policy store. The training-side half of the ladder lives in
+// Server.policy; see also internal/resilience.
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/rlplanner/rlplanner"
+	"github.com/rlplanner/rlplanner/internal/engine"
+	"github.com/rlplanner/rlplanner/internal/resilience"
+)
+
+// errOverCapacity reports that the training admission semaphore was
+// full. It is shed as 503, never retried inline and never marks the
+// retry breaker — capacity resolves itself when running trainings end.
+var errOverCapacity = errors.New("training capacity exhausted; retry shortly")
+
+// backoffError reports a policy key inside its retry-backoff window
+// after a recent training fault.
+type backoffError struct{ wait time.Duration }
+
+func (e *backoffError) Error() string {
+	return fmt.Sprintf("engine is backing off after a failure; retry in %s", e.wait.Round(time.Millisecond))
+}
+
+// serveError marks a trained policy that failed at Recommend time (a
+// malformed artifact). It maps to 500 and is eligible for fallback; the
+// policy itself has already been evicted so the next request retrains.
+type serveError struct{ err error }
+
+func (e *serveError) Error() string { return "serving policy: " + e.err.Error() }
+func (e *serveError) Unwrap() error { return e.err }
+
+// resilientFailure reports whether err sits on the fallback rung of the
+// ladder: solver panics, blown training deadlines, backoff windows and
+// serving-time policy failures. Config/validation errors are excluded
+// (they are deterministic 4xx material the fallback would only mask),
+// as is over-capacity (serving a fallback still costs a training run,
+// which is exactly what admission control just refused).
+func resilientFailure(err error) bool {
+	var pe *resilience.PanicError
+	var be *backoffError
+	var se *serveError
+	return errors.As(err, &pe) || errors.As(err, &be) || errors.As(err, &se) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// degradedReason renders the fault that triggered a fallback in one
+// operator-readable phrase (panic values and stacks stay in the logs).
+func degradedReason(err error) string {
+	var pe *resilience.PanicError
+	var be *backoffError
+	switch {
+	case errors.As(err, &pe):
+		return "engine panicked"
+	case errors.As(err, &be):
+		return "engine backing off after failure"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "training deadline exceeded"
+	default:
+		return err.Error()
+	}
+}
+
+// noteOutcome records a leader-run training result in the breaker and
+// the fault counters. Only resilience-class faults open the backoff
+// window: deterministic config errors stay immediately retryable (the
+// client will fix the request, not the clock), and capacity rejections
+// are the semaphore's business.
+func (s *Server) noteOutcome(key string, pol *rlplanner.Policy, err error) {
+	var pe *resilience.PanicError
+	switch {
+	case err == nil:
+		s.breaker.Success(key)
+		if pol != nil && pol.Degraded() == engine.DegradedPartial {
+			s.metrics.Partials.Add(1)
+		}
+	case errors.As(err, &pe):
+		s.metrics.Panics.Add(1)
+		s.breaker.Failure(key)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.metrics.Timeouts.Add(1)
+		s.breaker.Failure(key)
+	case errors.Is(err, errOverCapacity):
+		s.metrics.Rejections.Add(1)
+	}
+}
+
+// planResponse is a plan plus its provenance: which engine actually
+// served it and whether the ladder degraded the answer. The plan is
+// embedded, so clients that decode the response as a bare Plan keep
+// working unchanged.
+type planResponse struct {
+	*rlplanner.Plan
+	ServedBy       string `json:"served_by"`
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+}
+
+// planWith trains (or fetches) the engine's policy and produces a plan
+// under a panic guard. A policy that fails or panics at Recommend time
+// is evicted from the store and marked failed in the breaker — a
+// malformed artifact must never be re-served — and the error reports as
+// resilience-class so the caller's ladder can degrade to the fallback.
+func (s *Server) planWith(ctx context.Context, inst *rlplanner.Instance, engineName string, req planRequest) (*planResponse, error) {
+	key := req.policyKey(engineName)
+	pol, err := s.policy(ctx, inst, engineName, req)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := resilience.Guard("recommend "+engineName, func() (*rlplanner.Plan, error) {
+		return pol.Recommend("")
+	})
+	if err != nil {
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) {
+			s.metrics.Panics.Add(1)
+		} else {
+			err = &serveError{err: err}
+		}
+		s.policies.Remove(key)
+		s.breaker.Failure(key)
+		return nil, err
+	}
+	resp := &planResponse{Plan: plan, ServedBy: pol.Engine()}
+	if pol.Degraded() == engine.DegradedPartial {
+		resp.Degraded = true
+		resp.DegradedReason = "partial policy: training checkpointed at its deadline"
+	}
+	return resp, nil
+}
+
+// writePlanError maps a policy-path failure to its HTTP status:
+// load-shedding (capacity, backoff) → 503 with Retry-After, blown
+// deadline → 504, panic or serving failure → 500, anything else →
+// 400 (config/validation).
+func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+	var pe *resilience.PanicError
+	var be *backoffError
+	var se *serveError
+	switch {
+	case errors.Is(err, errOverCapacity):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &be):
+		w.Header().Set("Retry-After", retryAfterSeconds(be.wait))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.As(err, &pe), errors.As(err, &se):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// retryAfterSeconds renders a backoff window as a Retry-After value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// getMetrics reports the resilience fault counters.
+func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}

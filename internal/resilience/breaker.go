@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Default backoff schedule for a Breaker built with zero durations.
+const (
+	DefaultBackoffBase = 1 * time.Second
+	DefaultBackoffMax  = 30 * time.Second
+)
+
+// Breaker tracks per-key failure state with exponential backoff. A key
+// that keeps failing is not retried on every request — the first failure
+// opens a base-length backoff window, and each further failure doubles it
+// up to the cap. The key is never permanently poisoned: once the window
+// elapses the next caller may retry, and one success clears the state.
+//
+// The serving layer uses one Breaker over policy-store keys, so a
+// panicking or deadline-blown training run suppresses retraining storms
+// on exactly that (instance, engine, options) key while every other key
+// trains normally.
+type Breaker struct {
+	mu      sync.Mutex
+	base    time.Duration
+	max     time.Duration
+	now     func() time.Time // injectable clock for tests
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	fails int
+	until time.Time
+}
+
+// NewBreaker builds a breaker with the given backoff schedule; zero
+// durations select the defaults.
+func NewBreaker(base, max time.Duration) *Breaker {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{base: base, max: max, now: time.Now, entries: make(map[string]*breakerEntry)}
+}
+
+// Allow reports whether key may attempt work now. When it may not, the
+// remaining backoff window is returned so callers can set Retry-After.
+func (b *Breaker) Allow(key string) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[key]
+	if !ok {
+		return true, 0
+	}
+	if wait := e.until.Sub(b.now()); wait > 0 {
+		return false, wait
+	}
+	return true, 0
+}
+
+// Failure records a failed attempt for key and returns the backoff window
+// now in force (base × 2^(failures−1), capped at max).
+func (b *Breaker) Failure(key string) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[key]
+	if !ok {
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	e.fails++
+	backoff := b.base << (e.fails - 1)
+	if backoff > b.max || backoff <= 0 { // <= 0 guards shift overflow
+		backoff = b.max
+	}
+	e.until = b.now().Add(backoff)
+	return backoff
+}
+
+// Success clears key's failure state.
+func (b *Breaker) Success(key string) {
+	b.mu.Lock()
+	delete(b.entries, key)
+	b.mu.Unlock()
+}
+
+// Failures returns the consecutive failure count recorded for key.
+func (b *Breaker) Failures(key string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[key]; ok {
+		return e.fails
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+// Package resilience is the fault-tolerance layer of the serving stack.
+// The north-star deployment serves heavy interactive traffic, where a
+// single slow or panicking training run must never wedge the daemon or
+// the requests queued behind its singleflight key. The package provides
+// the small, composable primitives the engine and HTTP layers thread
+// together into a degradation ladder (engine → bounded retry → feasible
+// baseline → load shedding):
+//
+//   - Guard converts panics in solver code into typed *PanicError values,
+//     so one corrupted training run is an error for one key instead of a
+//     crash for every user of the process.
+//   - Breaker keeps per-key failure state with exponential backoff, so a
+//     poisoned policy key is retried on a schedule instead of hammered
+//     (or permanently blacklisted).
+//   - Semaphore caps concurrent cold-start trainings, the admission
+//     control behind the server's -max-training flag.
+//   - Metrics counts faults so operators can see the ladder working.
+//
+// The paper's own framing motivates the ladder: the gold/greedy
+// baselines produce valid-but-suboptimal plans (§IV-A2), which makes a
+// feasible baseline a principled bounded-latency fallback when RL
+// training cannot finish inside its budget.
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// PanicError is a recovered panic from guarded solver code. It satisfies
+// the error interface so panics flow through ordinary error paths
+// (singleflight result channels, HTTP error mapping) without re-raising.
+type PanicError struct {
+	// Op names the guarded operation, e.g. `engine sarsa`.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic without the stack (the stack is for logs).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: panic: %v", e.Op, e.Value)
+}
+
+// Guard runs fn and converts a panic into a *PanicError, leaving normal
+// results and errors untouched. It is the isolation boundary around every
+// solver Train call and every policy Recommend on the serving path.
+func Guard[T any](op string, fn func() (T, error)) (out T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var zero T
+			out, err = zero, &PanicError{Op: op, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Metrics counts resilience events. All fields are atomic; a zero Metrics
+// is ready to use. Snapshot renders it for a diagnostics endpoint.
+type Metrics struct {
+	// Panics counts solver panics converted into errors.
+	Panics atomic.Int64
+	// Timeouts counts training runs that hit their deadline.
+	Timeouts atomic.Int64
+	// Fallbacks counts requests served by the fallback engine.
+	Fallbacks atomic.Int64
+	// Rejections counts requests shed by admission control or backoff.
+	Rejections atomic.Int64
+	// Partials counts deadline-checkpointed (partial) policies served.
+	Partials atomic.Int64
+}
+
+// Snapshot returns the current counter values keyed by name.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"panics":     m.Panics.Load(),
+		"timeouts":   m.Timeouts.Load(),
+		"fallbacks":  m.Fallbacks.Load(),
+		"rejections": m.Rejections.Load(),
+		"partials":   m.Partials.Load(),
+	}
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGuardPassesThroughResults(t *testing.T) {
+	v, err := Guard("op", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Guard = %d, %v", v, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Guard("op", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Guard error = %v, want boom", err)
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	v, err := Guard("engine chaos", func() (*int, error) { panic("Q table corrupted") })
+	if v != nil {
+		t.Fatalf("panicking guard returned a value: %v", v)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Op != "engine chaos" || pe.Value != "Q table corrupted" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "engine chaos") || !strings.Contains(msg, "Q table corrupted") {
+		t.Fatalf("Error() = %q", msg)
+	}
+}
+
+func TestGuardConvertsRuntimePanic(t *testing.T) {
+	_, err := Guard("op", func() (int, error) {
+		var s []int
+		return s[3], nil // index out of range
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("runtime panic not converted: %v", err)
+	}
+}
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerExponentialBackoff(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(time.Second, 8*time.Second)
+	b.now = clk.now
+
+	if ok, _ := b.Allow("k"); !ok {
+		t.Fatal("fresh key must be allowed")
+	}
+	// Failure schedule: 1s, 2s, 4s, 8s, 8s (capped).
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second} {
+		if got := b.Failure("k"); got != want {
+			t.Fatalf("failure %d backoff = %v, want %v", i+1, got, want)
+		}
+	}
+	if b.Failures("k") != 5 {
+		t.Fatalf("failures = %d", b.Failures("k"))
+	}
+	ok, wait := b.Allow("k")
+	if ok || wait <= 0 || wait > 8*time.Second {
+		t.Fatalf("Allow during backoff = %v, %v", ok, wait)
+	}
+	// The window elapses: the key becomes retryable, not blacklisted.
+	clk.advance(9 * time.Second)
+	if ok, _ := b.Allow("k"); !ok {
+		t.Fatal("key still blocked after the backoff window elapsed")
+	}
+	// Success clears all state.
+	b.Success("k")
+	if b.Failures("k") != 0 {
+		t.Fatalf("failures after success = %d", b.Failures("k"))
+	}
+	if got := b.Failure("k"); got != time.Second {
+		t.Fatalf("post-success failure backoff = %v, want the base again", got)
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b := NewBreaker(time.Hour, time.Hour)
+	b.Failure("poisoned")
+	if ok, _ := b.Allow("poisoned"); ok {
+		t.Fatal("failed key should be backing off")
+	}
+	if ok, _ := b.Allow("healthy"); !ok {
+		t.Fatal("an unrelated key must not be affected")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.base != DefaultBackoffBase || b.max != DefaultBackoffMax {
+		t.Fatalf("defaults = %v/%v", b.base, b.max)
+	}
+	// max below base is raised to base.
+	b = NewBreaker(10*time.Second, time.Second)
+	if b.max != 10*time.Second {
+		t.Fatalf("max = %v, want clamped to base", b.max)
+	}
+}
+
+func TestSemaphoreCapAndRelease(t *testing.T) {
+	s := NewSemaphore(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("two acquisitions within cap must succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("third acquisition beyond cap must fail")
+	}
+	if s.InUse() != 2 || s.Cap() != 2 {
+		t.Fatalf("InUse/Cap = %d/%d", s.InUse(), s.Cap())
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released slot must be reusable")
+	}
+}
+
+func TestSemaphoreUnlimited(t *testing.T) {
+	var s *Semaphore // nil = unlimited
+	for i := 0; i < 100; i++ {
+		if !s.TryAcquire() {
+			t.Fatal("nil semaphore must always admit")
+		}
+	}
+	s.Release()
+	if s.Cap() != 0 || s.InUse() != 0 {
+		t.Fatalf("nil semaphore Cap/InUse = %d/%d", s.Cap(), s.InUse())
+	}
+	if NewSemaphore(0) != nil {
+		t.Fatal("NewSemaphore(0) should be the unlimited nil semaphore")
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	var m Metrics
+	m.Panics.Add(2)
+	m.Fallbacks.Add(1)
+	snap := m.Snapshot()
+	if snap["panics"] != 2 || snap["fallbacks"] != 1 || snap["timeouts"] != 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}

@@ -1,0 +1,56 @@
+package resilience
+
+// Semaphore is a non-blocking counting semaphore: the admission-control
+// gate over concurrent cold-start trainings. A nil Semaphore (or one
+// built with n <= 0) admits everything, so "no cap configured" needs no
+// branches at call sites.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore builds a semaphore admitting at most n concurrent holders;
+// n <= 0 returns nil, the unlimited semaphore.
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		return nil
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a slot without blocking; false means the cap is
+// reached and the caller should shed load.
+func (s *Semaphore) TryAcquire() bool {
+	if s == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by TryAcquire.
+func (s *Semaphore) Release() {
+	if s == nil {
+		return
+	}
+	<-s.slots
+}
+
+// Cap returns the configured concurrency cap (0 = unlimited).
+func (s *Semaphore) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return cap(s.slots)
+}
+
+// InUse returns the number of currently held slots.
+func (s *Semaphore) InUse() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.slots)
+}

@@ -12,6 +12,7 @@
 package sarsa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -100,6 +101,11 @@ type Config struct {
 	DisableExplore bool
 	// Seed drives all randomness; the same seed reproduces the same policy.
 	Seed int64
+	// OnEpisode, when non-nil, observes each completed episode index
+	// (0-based). Progress reporting and the deadline tests hook it; it
+	// runs outside the per-step hot loop, so a cheap callback does not
+	// perturb learning performance.
+	OnEpisode func(i int)
 }
 
 // DefaultExplore is the exploration probability used when Config.Explore
@@ -150,10 +156,28 @@ type Result struct {
 	// EpisodeReturns holds the total (undiscounted) reward collected in
 	// each episode, in order — the learning curve.
 	EpisodeReturns []float64
+	// Interrupted reports that the run stopped at a context deadline
+	// before completing Config.Episodes. Policy then holds the
+	// best-so-far Q table — a usable checkpoint, since every completed
+	// episode's updates are already in the table and the guided
+	// recommendation walk enforces validity independently of how
+	// converged the values are.
+	Interrupted bool
 }
 
 // Learn runs Algorithm 1's learning phase on env.
 func Learn(env *mdp.Env, cfg Config) (*Result, error) {
+	return LearnContext(context.Background(), env, cfg)
+}
+
+// LearnContext is Learn under a context: the deadline is checked between
+// episodes (never inside the per-step hot loop). When the context expires
+// after at least one completed episode, the run checkpoints — it returns
+// the Q table learned so far with Result.Interrupted set, not an error —
+// so a training budget yields a degraded-but-feasible policy instead of
+// nothing. A context that is already dead before the first episode
+// returns its error.
+func LearnContext(ctx context.Context, env *mdp.Env, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,12 +191,28 @@ func Learn(env *mdp.Env, cfg Config) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	q := qtable.New(n)
-	returns := make([]float64, 0, cfg.Episodes)
+	// Cap the preallocation: Episodes is caller-supplied (on the serving
+	// path, request-supplied), and an absurd value must not reserve
+	// gigabytes — or blow a training deadline — before the first episode
+	// even runs. Beyond the cap the slice grows by appending as usual.
+	capHint := cfg.Episodes
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	returns := make([]float64, 0, capHint)
 	eps := cfg.explore()
 	var sc scratch // reused across every episode and step
 	var ep *mdp.Episode
 
+	interrupted := false
 	for i := 0; i < cfg.Episodes; i++ {
+		if err := ctx.Err(); err != nil {
+			if i == 0 {
+				return nil, err
+			}
+			interrupted = true
+			break
+		}
 		start := cfg.Start
 		if start == RandomStart {
 			start = rng.Intn(n)
@@ -216,11 +256,15 @@ func Learn(env *mdp.Env, cfg Config) (*Result, error) {
 			s, e = sNext, eNext
 		}
 		returns = append(returns, total)
+		if cfg.OnEpisode != nil {
+			cfg.OnEpisode(i)
+		}
 	}
 
 	return &Result{
 		Policy:         &Policy{Q: q, IDs: env.Catalog().IDs()},
 		EpisodeReturns: returns,
+		Interrupted:    interrupted,
 	}, nil
 }
 

@@ -51,6 +51,13 @@ func (p *Policy) Engine() string { return p.p.Engine() }
 // an artifact against an instance with a different fingerprint fails.
 func (p *Policy) Fingerprint() string { return p.p.Fingerprint() }
 
+// Degraded reports the policy's degradation marker: "" for a fully
+// trained artifact, "partial" for a SARSA run checkpointed at its
+// training deadline (Options.TrainBudget). A partial policy still walks
+// the validity-guarded recommendation procedure, so its plans respect
+// the hard constraints — they are best-effort on the soft score only.
+func (p *Policy) Degraded() string { return engine.Degradation(p.p) }
+
 // Recommend produces a plan from the given start item id ("" uses the
 // start the policy was trained with). Safe for concurrent use.
 func (p *Policy) Recommend(startID string) (*Plan, error) {

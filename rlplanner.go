@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/core"
@@ -176,6 +177,12 @@ type Options struct {
 	// MaxDistanceKm overrides the trip distance threshold d (negative
 	// disables the check).
 	MaxDistanceKm float64
+	// TrainBudget bounds the wall-clock time of one Train call (0 = no
+	// bound). A SARSA run that hits the deadline checkpoints its Q table
+	// and returns the best-so-far policy with Policy.Degraded reporting
+	// "partial"; a run canceled before any episode fails with the
+	// context error.
+	TrainBudget time.Duration
 }
 
 func (o Options) toCore() core.Options {
@@ -192,6 +199,7 @@ func (o Options) toCore() core.Options {
 		Seed:          o.Seed,
 		TimeLimit:     o.TimeLimitHours,
 		MaxDistanceKm: o.MaxDistanceKm,
+		TrainBudget:   o.TrainBudget,
 	}
 	if o.Epsilon != 0 {
 		c.HasEpsilon = true
