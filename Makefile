@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... .
 # plus the daemon's signal-drain tests.
 FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-.PHONY: check vet build test race faults bench-hot bench-json
+.PHONY: check vet build test race faults bench-hot bench-json servebench
 
 check: vet build test race faults
 
@@ -40,3 +40,10 @@ bench-hot:
 # Machine-readable perf records (BENCH_<id>.json) under results/.
 bench-json:
 	$(GO) run ./cmd/benchharness -quick -exp fig1a,tab5 -benchjson results
+
+# Serving-latency bench over the live HTTP stack, gated against the
+# committed record: a >2x p99 regression fails (DESIGN §11). Writes the
+# fresh measurement to /tmp so the committed baseline only moves on
+# purpose.
+servebench:
+	$(GO) run ./cmd/benchharness -serve -serve-baseline results/BENCH_serve.json -benchjson /tmp/rlplanner-servebench

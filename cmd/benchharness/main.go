@@ -6,9 +6,18 @@
 //	benchharness [-exp all|fig1a,fig1b,tab4,tab5,tab7,tab8,tab9..tab16,fig2]
 //	             [-runs 10] [-episodes 0] [-seed 1] [-quick]
 //	             [-workers 0] [-benchjson dir] [-list-engines]
+//	             [-serve] [-serve-instance name] [-serve-conc 0]
+//	             [-serve-duration 3s] [-serve-batch 64] [-serve-baseline file]
 //
 // -list-engines prints the registered planning engines the experiments
 // route through and exits.
+//
+// -serve switches the harness into serving-latency mode: it mounts the
+// HTTP API in-process, trains the policy through one warm-up request,
+// then drives concurrent /api/plan (and /api/plan/batch) clients and
+// reports p50/p99 latency, throughput and allocs per request. With
+// -benchjson it writes BENCH_serve.json; with -serve-baseline it fails
+// on a >2x p99 regression against a committed record.
 //
 // -quick trades fidelity for speed (3 runs, 150 episodes); the default
 // reproduces the paper's 10-run averages at the Table III episode counts.
@@ -27,6 +36,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"github.com/rlplanner/rlplanner"
 	"github.com/rlplanner/rlplanner/internal/dataset"
@@ -48,12 +58,59 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent runs per experiment (0 = GOMAXPROCS, 1 = sequential)")
 		benchjson = flag.String("benchjson", "", "directory for BENCH_<id>.json perf records (empty = off)")
 		listEng   = flag.Bool("list-engines", false, "list registered planning engines and exit")
+
+		serve         = flag.Bool("serve", false, "serving-latency mode: benchmark the live HTTP plan path and exit")
+		serveInstance = flag.String("serve-instance", "Univ-1 M.S. DS-CT", "instance for -serve")
+		serveEngine   = flag.String("serve-engine", "sarsa", "engine for -serve")
+		serveConc     = flag.Int("serve-conc", 0, "concurrent plan clients for -serve (0 = GOMAXPROCS)")
+		serveDuration = flag.Duration("serve-duration", 3*time.Second, "timed phase length for -serve")
+		serveBatch    = flag.Int("serve-batch", 64, "plans per /api/plan/batch request for -serve (0 = skip the batch phase)")
+		serveBaseline = flag.String("serve-baseline", "", "committed BENCH_serve.json to gate against (>2x p99 regression fails)")
 	)
 	flag.Parse()
 
 	if *listEng {
 		for _, name := range rlplanner.Engines() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *serve {
+		conc := *serveConc
+		if conc <= 0 {
+			conc = runtime.GOMAXPROCS(0)
+		}
+		rec, err := serveBench(serveConfig{
+			Instance: *serveInstance,
+			Engine:   *serveEngine,
+			Episodes: *episodes,
+			Seed:     *seed,
+			Conc:     conc,
+			Duration: *serveDuration,
+			Batch:    *serveBatch,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve: %d reqs in %s (%d clients): %.0f req/s, p50 %s, p99 %s, %d allocs/req\n",
+			rec.Requests, time.Duration(rec.DurationNs), rec.Conc, rec.ReqPerSec,
+			time.Duration(rec.P50Ns), time.Duration(rec.P99Ns), rec.AllocsOp)
+		if rec.BatchSize > 0 {
+			fmt.Printf("serve: batch(%d): %.0f plans/s\n", rec.BatchSize, rec.BatchReqPerSec)
+		}
+		if *benchjson != "" {
+			if err := writeServeRecord(*benchjson, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *serveBaseline != "" {
+			if err := checkServeBaseline(*serveBaseline, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

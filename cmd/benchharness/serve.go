@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rlplanner/rlplanner/internal/httpapi"
+)
+
+// serveConfig parameterizes the serving-latency harness (-serve).
+type serveConfig struct {
+	Instance string
+	Engine   string
+	Episodes int
+	Seed     int64
+	Conc     int
+	Duration time.Duration
+	Batch    int
+}
+
+// serveRecord is the machine-readable serving-perf record written as
+// BENCH_serve.json. One "op" is one completed POST /api/plan request
+// against a warm policy cache — the steady-state serving shape the
+// deployment section (§IV-F) cares about. Allocations are process-wide
+// (server and harness client share the process), so allocs_op is an
+// upper bound on the server-side cost; it is comparable across runs of
+// the same harness, which is what the perf trajectory needs.
+type serveRecord struct {
+	Name           string  `json:"name"`
+	Instance       string  `json:"instance"`
+	Engine         string  `json:"engine"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Conc           int     `json:"conc"`
+	DurationNs     int64   `json:"duration_ns"`
+	Requests       int     `json:"requests"`
+	ReqPerSec      float64 `json:"req_per_sec"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	AllocsOp       uint64  `json:"allocs_op"`
+	BytesOp        uint64  `json:"bytes_op"`
+	BatchSize      int     `json:"batch_size,omitempty"`
+	BatchReqPerSec float64 `json:"batch_req_per_sec,omitempty"`
+}
+
+// serveBench stands up the live HTTP serving stack (the same handler
+// rlplannerd mounts), trains the policy once through a warm-up request,
+// then drives concurrent /api/plan clients for the configured duration
+// and reports latency percentiles, throughput and allocation rates. When
+// the server exposes /api/plan/batch, a second phase measures batched
+// planning throughput with the same warm policy.
+func serveBench(cfg serveConfig) (serveRecord, error) {
+	rec := serveRecord{
+		Name:       "serve",
+		Instance:   cfg.Instance,
+		Engine:     cfg.Engine,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Conc:       cfg.Conc,
+	}
+	api := httpapi.New()
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	planBody, err := json.Marshal(map[string]interface{}{
+		"instance": cfg.Instance,
+		"engine":   cfg.Engine,
+		"episodes": cfg.Episodes,
+		"seed":     cfg.Seed,
+	})
+	if err != nil {
+		return rec, err
+	}
+	client := srv.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = cfg.Conc + 1
+	}
+
+	post := func(path string, body []byte) (int, error) {
+		resp, err := client.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var sink json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s response: %w", path, err)
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Warm-up: the first request trains the policy; afterwards every hit
+	// is the warm cached path the benchmark is about.
+	if code, err := post("/api/plan", planBody); err != nil {
+		return rec, err
+	} else if code != http.StatusOK {
+		return rec, fmt.Errorf("warm-up plan returned HTTP %d", code)
+	}
+
+	// Timed phase: cfg.Conc workers hammer /api/plan until the deadline,
+	// each collecting its own latency samples (no shared state on the
+	// request path).
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	deadline := time.Now().Add(cfg.Duration)
+	lat := make([][]time.Duration, cfg.Conc)
+	errs := make([]error, cfg.Conc)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < cfg.Conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				r0 := time.Now()
+				code, err := post("/api/plan", planBody)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if code != http.StatusOK {
+					errs[w] = fmt.Errorf("plan returned HTTP %d", code)
+					return
+				}
+				lat[w] = append(lat[w], time.Since(r0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	for _, err := range errs {
+		if err != nil {
+			return rec, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return rec, fmt.Errorf("no plan requests completed in %s", cfg.Duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rec.DurationNs = elapsed.Nanoseconds()
+	rec.Requests = len(all)
+	rec.ReqPerSec = float64(len(all)) / elapsed.Seconds()
+	rec.P50Ns = all[len(all)/2].Nanoseconds()
+	rec.P99Ns = all[len(all)*99/100].Nanoseconds()
+	rec.AllocsOp = (m1.Mallocs - m0.Mallocs) / uint64(len(all))
+	rec.BytesOp = (m1.TotalAlloc - m0.TotalAlloc) / uint64(len(all))
+
+	if cfg.Batch > 0 {
+		if rps, ok, err := serveBatchPhase(post, cfg, planBody); err != nil {
+			return rec, err
+		} else if ok {
+			rec.BatchSize = cfg.Batch
+			rec.BatchReqPerSec = rps
+		}
+	}
+	return rec, nil
+}
+
+// serveBatchPhase measures /api/plan/batch throughput in plans per
+// second. ok is false when the server predates the batch endpoint (the
+// pre-fast-path baseline), so the same harness binary can measure both
+// sides of the change.
+func serveBatchPhase(post func(string, []byte) (int, error), cfg serveConfig, planBody []byte) (float64, bool, error) {
+	var req map[string]interface{}
+	if err := json.Unmarshal(planBody, &req); err != nil {
+		return 0, false, err
+	}
+	req["starts"] = make([]string, cfg.Batch) // "" = trained start per item
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, false, err
+	}
+	code, err := post("/api/plan/batch", body)
+	if err != nil {
+		return 0, false, err
+	}
+	if code == http.StatusNotFound {
+		return 0, false, nil
+	}
+	if code != http.StatusOK {
+		return 0, false, fmt.Errorf("batch plan returned HTTP %d", code)
+	}
+	deadline := time.Now().Add(cfg.Duration)
+	plans := 0
+	t0 := time.Now()
+	for time.Now().Before(deadline) {
+		if code, err := post("/api/plan/batch", body); err != nil {
+			return 0, false, err
+		} else if code != http.StatusOK {
+			return 0, false, fmt.Errorf("batch plan returned HTTP %d", code)
+		}
+		plans += cfg.Batch
+	}
+	return float64(plans) / time.Since(t0).Seconds(), true, nil
+}
+
+// checkServeBaseline compares a fresh serve record against a committed
+// baseline file and fails on a >2× p99 latency regression — the CI
+// guardrail for the serving fast path.
+func checkServeBaseline(path string, rec serveRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve baseline: %w", err)
+	}
+	var base serveRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("serve baseline %s: %w", path, err)
+	}
+	if base.P99Ns <= 0 {
+		return fmt.Errorf("serve baseline %s: no p99 recorded", path)
+	}
+	if rec.P99Ns > 2*base.P99Ns {
+		return fmt.Errorf("serve p99 regression: %s now vs %s baseline (>2x)",
+			time.Duration(rec.P99Ns), time.Duration(base.P99Ns))
+	}
+	return nil
+}
+
+// writeServeRecord writes rec to dir/BENCH_serve.json.
+func writeServeRecord(dir string, rec serveRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), append(data, '\n'), 0o644)
+}

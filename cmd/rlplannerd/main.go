@@ -28,7 +28,7 @@
 // Usage:
 //
 //	rlplannerd [-addr :8080] [-policy-cache 128] [-train-timeout 0]
-//	           [-max-training 0] [-drain-timeout 10s]
+//	           [-max-training 0] [-drain-timeout 10s] [-pprof addr]
 package main
 
 import (
@@ -37,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,7 +55,24 @@ func main() {
 		"max concurrent cold-start trainings (0 = unlimited); requests beyond the cap get 503 + Retry-After")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"grace period for in-flight requests after SIGTERM/SIGINT")
+	pprofAddr := flag.String("pprof", "",
+		"optional address for net/http/pprof on a separate listener (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rlplannerd pprof listening on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			// The profiler gets its own mux and listener so the API
+			// surface never exposes /debug/pprof, whatever -addr binds.
+			if err := http.Serve(pln, pprofMux()); err != nil {
+				log.Printf("rlplannerd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,6 +89,19 @@ func main() {
 	); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// pprofMux routes the standard net/http/pprof handlers on a dedicated
+// mux (the package's init only registers on http.DefaultServeMux, which
+// the daemon deliberately does not serve).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the API on ln until a stop signal arrives, then drains

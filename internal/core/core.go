@@ -86,11 +86,25 @@ type Planner struct {
 
 // New builds a planner for the instance with the given overrides.
 func New(inst *dataset.Instance, opts Options) (*Planner, error) {
+	env, err := BuildEnv(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithEnv(inst, opts, env)
+}
+
+// envConfig resolves the environment-determining configuration — the
+// effective hard constraints and reward parameters after option
+// overrides. Everything mdp.NewEnv consumes beyond these comes from the
+// instance itself (catalog, soft constraints) or is derived from them
+// (the trajectory budget), so two (instance, options) pairs with equal
+// envConfig results share one environment.
+func envConfig(inst *dataset.Instance, opts Options) (constraints.Hard, reward.Config, error) {
 	if inst == nil {
-		return nil, fmt.Errorf("core: nil instance")
+		return constraints.Hard{}, reward.Config{}, fmt.Errorf("core: nil instance")
 	}
 	if err := inst.Validate(); err != nil {
-		return nil, err
+		return constraints.Hard{}, reward.Config{}, err
 	}
 	d := inst.Defaults
 
@@ -132,11 +146,50 @@ func New(inst *dataset.Instance, opts Options) (*Planner, error) {
 	// Trip rewards track POI popularity (see reward.Config.PopularityScale).
 	rc.PopularityScale = inst.Kind == dataset.TripPlanning
 	rc.SoftGate = opts.SoftThetaGate
+	return hard, rc, nil
+}
 
-	env, err := mdp.NewEnv(inst.Catalog, hard, inst.Soft, rc, budgetFor(inst, hard))
+// BuildEnv constructs the MDP environment for (instance, options)
+// without a planner around it — the entry the engine layer's
+// environment cache builds through.
+func BuildEnv(inst *dataset.Instance, opts Options) (*mdp.Env, error) {
+	hard, rc, err := envConfig(inst, opts)
 	if err != nil {
 		return nil, err
 	}
+	return mdp.NewEnv(inst.Catalog, hard, inst.Soft, rc, budgetFor(inst, hard))
+}
+
+// EnvKey returns a canonical key identifying the environment that
+// BuildEnv would construct for (instance, options): the instance kind
+// plus the resolved hard constraints and reward configuration. The key
+// deliberately omits the catalog — callers caching environments across
+// instances must scope it by the catalog fingerprint.
+func EnvKey(inst *dataset.Instance, opts Options) (string, error) {
+	hard, rc, err := envConfig(inst, opts)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d|%+v|%+v", inst.Kind, hard, rc), nil
+}
+
+// NewWithEnv is New with a prebuilt environment — typically one shared
+// through the engine layer's cache. The environment must have been built
+// by BuildEnv for an equivalent (instance, options) pair; a catalog-size
+// mismatch is rejected, finer divergence is the caller's contract.
+func NewWithEnv(inst *dataset.Instance, opts Options, env *mdp.Env) (*Planner, error) {
+	_, rc, err := envConfig(inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	if env == nil {
+		return nil, fmt.Errorf("core: nil environment")
+	}
+	if env.NumItems() != inst.Catalog.Len() {
+		return nil, fmt.Errorf("core: environment over %d items, catalog has %d",
+			env.NumItems(), inst.Catalog.Len())
+	}
+	d := inst.Defaults
 
 	startID := inst.DefaultStart
 	if opts.Start != "" {

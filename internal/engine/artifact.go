@@ -124,7 +124,10 @@ func Load(r io.Reader, inst *dataset.Instance, opts core.Options) (Policy, error
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.New(inst, opts)
+	// Imported artifacts serve immediately: compile the action order now
+	// and rebind against the cached environment rather than a fresh one.
+	values.Compiled()
+	p, err := newPlanner(context.Background(), inst, opts)
 	if err != nil {
 		return nil, err
 	}

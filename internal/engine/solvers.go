@@ -134,7 +134,7 @@ func trainTD(alg sarsa.Algorithm) TrainFunc {
 	}
 	return func(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
 		opts.Algorithm = alg
-		p, err := core.New(inst, opts)
+		p, err := newPlanner(ctx, inst, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -152,18 +152,22 @@ func trainTD(alg sarsa.Algorithm) TrainFunc {
 		if p.Partial() {
 			m.degraded = DegradedPartial
 		}
+		values := p.Policy()
+		// Pay the compiled-order build at train time so the first request
+		// against the artifact serves at steady-state speed.
+		values.Compiled()
 		return &valuePolicy{
 			meta:   m,
 			env:    p.Env(),
 			start:  p.SarsaConfig().Start,
-			values: p.Policy(),
+			values: values,
 			curve:  p.LearningCurve(),
 		}, nil
 	}
 }
 
 func trainValueIter(ctx context.Context, inst *dataset.Instance, opts core.Options) (Policy, error) {
-	p, err := core.New(inst, opts)
+	p, err := newPlanner(ctx, inst, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +184,7 @@ func trainValueIter(ctx context.Context, inst *dataset.Instance, opts core.Optio
 	if err != nil {
 		return nil, err
 	}
+	res.Policy.Compiled()
 	return &valuePolicy{
 		meta:       metaFor("valueiter", inst, p.Env().Hard()),
 		env:        p.Env(),
@@ -193,7 +198,7 @@ func trainEDA(ctx context.Context, inst *dataset.Instance, opts core.Options) (P
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := core.New(inst, opts)
+	p, err := newPlanner(ctx, inst, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +220,7 @@ func trainOmega(ctx context.Context, inst *dataset.Instance, opts core.Options) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := core.New(inst, opts)
+	p, err := newPlanner(ctx, inst, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultStoreSize bounds the policy cache when no explicit size is
@@ -24,6 +25,20 @@ type Store[V any] struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 	calls   map[string]*call[V]
+
+	// hits / misses count lookup outcomes for the metrics endpoint. A
+	// Cached probe only counts on success (its miss is not final — the
+	// caller typically proceeds to GetOrTrain, which records the real
+	// outcome); GetOrTrain counts a hit on a cached read and a miss for
+	// both the singleflight leader and its followers.
+	hits, misses atomic.Uint64
+}
+
+// CacheStats is a point-in-time view of a Store's lookup counters and
+// occupancy.
+type CacheStats struct {
+	Hits, Misses uint64
+	Size         int
 }
 
 type storeEntry[V any] struct {
@@ -54,8 +69,12 @@ func NewStore[V any](maxEntries int) *Store[V] {
 // Cached returns the policy for key without ever blocking on training.
 func (s *Store[V]) Cached(key string) (V, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cachedLocked(key)
+	v, ok := s.cachedLocked(key)
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	}
+	return v, ok
 }
 
 func (s *Store[V]) cachedLocked(key string) (V, bool) {
@@ -99,8 +118,10 @@ func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, 
 	s.mu.Lock()
 	if v, ok := s.cachedLocked(key); ok {
 		s.mu.Unlock()
+		s.hits.Add(1)
 		return v, false, nil
 	}
+	s.misses.Add(1)
 	if c, ok := s.calls[key]; ok {
 		// Follower: wait for the in-flight training run without holding
 		// the lock, so cached reads stay available meanwhile.
@@ -155,6 +176,12 @@ func (s *Store[V]) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.order.Len()
+}
+
+// Stats returns the store's cumulative hit/miss counters and current
+// entry count.
+func (s *Store[V]) Stats() CacheStats {
+	return CacheStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Size: s.Len()}
 }
 
 // Keys returns the cached keys, most recently used first.

@@ -51,7 +51,10 @@ type Server struct {
 	// fallback names the engine that serves degraded plans when the
 	// requested engine faults; "" disables the ladder's fallback rung.
 	fallback string
-	metrics  resilience.Metrics
+	// batchWorkers bounds the concurrent recommendation walks of one
+	// /api/plan/batch request (DefaultBatchWorkers when <= 0).
+	batchWorkers int
+	metrics      resilience.Metrics
 
 	// onTrain, when set, observes every actual training run (not cache
 	// hits or singleflight followers). Tests use it to count and to
@@ -146,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/policies/export", s.exportPolicy)
 	mux.HandleFunc("POST /api/policies/import", s.importPolicy)
 	mux.HandleFunc("POST /api/plan", s.plan)
+	mux.HandleFunc("POST /api/plan/batch", s.planBatch)
 	mux.HandleFunc("POST /api/rate", s.rate)
 	mux.HandleFunc("POST /api/explain", s.explain)
 	mux.HandleFunc("POST /api/sessions", s.createSession)

@@ -112,13 +112,20 @@ type planResponse struct {
 // malformed artifact must never be re-served — and the error reports as
 // resilience-class so the caller's ladder can degrade to the fallback.
 func (s *Server) planWith(ctx context.Context, inst *rlplanner.Instance, engineName string, req planRequest) (*planResponse, error) {
+	return s.planFrom(ctx, inst, engineName, req, "")
+}
+
+// planFrom is planWith from an explicit start item id ("" walks from
+// the policy's trained start — the /api/plan behavior). Batch items
+// share one policy and vary only the start.
+func (s *Server) planFrom(ctx context.Context, inst *rlplanner.Instance, engineName string, req planRequest, startID string) (*planResponse, error) {
 	key := req.policyKey(engineName)
 	pol, err := s.policy(ctx, inst, engineName, req)
 	if err != nil {
 		return nil, err
 	}
 	plan, err := resilience.Guard("recommend "+engineName, func() (*rlplanner.Plan, error) {
-		return pol.Recommend("")
+		return pol.Recommend(startID)
 	})
 	if err != nil {
 		var pe *resilience.PanicError
@@ -139,28 +146,36 @@ func (s *Server) planWith(ctx context.Context, inst *rlplanner.Instance, engineN
 	return resp, nil
 }
 
-// writePlanError maps a policy-path failure to its HTTP status:
-// load-shedding (capacity, backoff) → 503 with Retry-After, blown
-// deadline → 504, panic or serving failure → 500, anything else →
-// 400 (config/validation).
-func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+// planErrorStatus maps a policy-path failure to its HTTP status:
+// load-shedding (capacity, backoff) → 503, blown deadline → 504, panic
+// or serving failure → 500, anything else → 400 (config/validation).
+func planErrorStatus(err error) int {
 	var pe *resilience.PanicError
 	var be *backoffError
 	var se *serveError
 	switch {
+	case errors.Is(err, errOverCapacity), errors.As(err, &be):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &pe), errors.As(err, &se):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writePlanError reports a policy-path failure with planErrorStatus's
+// mapping, attaching Retry-After to the load-shedding statuses.
+func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+	var be *backoffError
+	switch {
 	case errors.Is(err, errOverCapacity):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.As(err, &be):
 		w.Header().Set("Retry-After", retryAfterSeconds(be.wait))
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, err)
-	case errors.As(err, &pe), errors.As(err, &se):
-		writeError(w, http.StatusInternalServerError, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
 	}
+	writeError(w, planErrorStatus(err), err)
 }
 
 // retryAfterSeconds renders a backoff window as a Retry-After value:
@@ -173,7 +188,18 @@ func retryAfterSeconds(wait time.Duration) string {
 	return strconv.Itoa(secs)
 }
 
-// getMetrics reports the resilience fault counters.
+// getMetrics reports the resilience fault counters plus the policy- and
+// environment-cache lookup counters, in one flat map so existing
+// dashboards keep decoding it.
 func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	m := s.metrics.Snapshot()
+	pc := s.policies.Stats()
+	m["policy_cache_hits"] = int64(pc.Hits)
+	m["policy_cache_misses"] = int64(pc.Misses)
+	m["policy_cache_size"] = int64(pc.Size)
+	ec := engine.EnvCacheStats()
+	m["env_cache_hits"] = int64(ec.Hits)
+	m["env_cache_misses"] = int64(ec.Misses)
+	m["env_cache_size"] = int64(ec.Size)
+	writeJSON(w, http.StatusOK, m)
 }

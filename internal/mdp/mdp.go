@@ -13,6 +13,7 @@ package mdp
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/rlplanner/rlplanner/internal/bitset"
 	"github.com/rlplanner/rlplanner/internal/constraints"
@@ -125,6 +126,11 @@ type Env struct {
 	// position advances by one, so the single antecedent position that newly
 	// crosses the gap threshold is seq[pos-gapStep].
 	gapStep int
+
+	// epPool recycles Episodes across serve-time recommendation walks (see
+	// AcquireEpisode). Episode buffers are sized by the Env they were built
+	// against, so the pool lives on the Env rather than the package.
+	epPool sync.Pool
 }
 
 // NewEnv validates the pieces and builds an environment.
@@ -276,6 +282,33 @@ func (e *Env) Start(start int) (*Episode, error) {
 	ep.prereqOK = flags[n:]
 	ep.reset(start)
 	return ep, nil
+}
+
+// AcquireEpisode returns a ready episode starting at start, reusing a
+// pooled one (via Reset) when available. Serve-time walks that extract
+// their result with Sequence — which copies — pair this with
+// ReleaseEpisode so the steady-state plan path allocates no per-request
+// episode state.
+func (e *Env) AcquireEpisode(start int) (*Episode, error) {
+	if ep, ok := e.epPool.Get().(*Episode); ok && ep != nil {
+		if err := ep.Reset(start); err != nil {
+			e.epPool.Put(ep)
+			return nil, err
+		}
+		return ep, nil
+	}
+	return e.Start(start)
+}
+
+// ReleaseEpisode returns an episode to the Env's pool. The caller must
+// not retain the episode or any view into it (Sequence/Types/Coverage
+// return copies and are safe). Episodes from a different Env are
+// dropped: their buffers are sized for the wrong catalog.
+func (e *Env) ReleaseEpisode(ep *Episode) {
+	if ep == nil || ep.env != e {
+		return
+	}
+	e.epPool.Put(ep)
 }
 
 // Reset rewinds the episode to a fresh trajectory starting at start,

@@ -50,6 +50,15 @@ func (t *Table) Get(s, e int) float64 {
 	return t.q[s*t.n+e]
 }
 
+// rowView returns Q(s, ·) as a view into the table's backing array,
+// without copying and without bounds-checking s — the accessor the
+// compiled-policy builder and the arg-max scans use on indices they
+// already validated. Callers must guarantee 0 <= s < n and must not
+// mutate the returned slice.
+func (t *Table) rowView(s int) []float64 {
+	return t.q[s*t.n : (s+1)*t.n]
+}
+
 // Set assigns Q(s, e) = v.
 func (t *Table) Set(s, e int, v float64) {
 	t.check(s, e)
@@ -60,12 +69,16 @@ func (t *Table) Set(s, e int, v float64) {
 //
 //	Q(s,e) ← Q(s,e) + α[r + γ·Q(s',e') − Q(s,e)]
 //
-// and returns the new value.
+// and returns the new value. Each index pair is bounds-checked exactly
+// once: the bootstrap value is read directly rather than through Get,
+// which would re-check what Update already validated — this sits on the
+// learning hot loop, one call per episode step.
 func (t *Table) Update(s, e int, alpha, r, gamma float64, sNext, eNext int) float64 {
 	t.check(s, e)
 	target := r
 	if sNext >= 0 && eNext >= 0 {
-		target += gamma * t.Get(sNext, eNext)
+		t.check(sNext, eNext)
+		target += gamma * t.q[sNext*t.n+eNext]
 	}
 	i := s*t.n + e
 	t.q[i] += alpha * (target - t.q[i])

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/item"
@@ -142,11 +143,33 @@ func (c Config) explore() float64 {
 
 // Policy is a learned Q table together with the ids of the items its
 // indices refer to, so it can be persisted and transferred across catalogs.
+//
+// After training completes, a Policy is immutable: the recommendation
+// walk compiles the Q table into per-state Q-descending action orders
+// (see qtable.Compiled) and caches them, so Q must not be mutated once
+// any recommendation method or Compiled has been called. Relearning and
+// feedback adaptation produce a new Policy rather than updating one in
+// place.
 type Policy struct {
 	// Q is the learned action-value table.
 	Q *qtable.Table
 	// IDs aligns Q's indices with item ids of the learning catalog.
 	IDs []string
+
+	compileOnce sync.Once
+	compiled    *qtable.Compiled
+}
+
+// Compiled returns the policy's serve-time compiled action order
+// (top-K eager prefix plus lazy full tail), building it on first use.
+// The engine layer calls this at train/artifact-load time so the first
+// user request never pays the compile; direct constructors (tests,
+// transfer) get it lazily. Safe for concurrent use.
+func (p *Policy) Compiled() *qtable.Compiled {
+	p.compileOnce.Do(func() {
+		p.compiled = qtable.Compile(p.Q, qtable.DefaultTopK)
+	})
+	return p.compiled
 }
 
 // Result reports what a learning run produced.
@@ -428,18 +451,30 @@ func (p *Policy) recommend(env *mdp.Env, start int, guided bool) ([]int, error) 
 	if err := p.compatible(env); err != nil {
 		return nil, err
 	}
-	ep, err := env.Start(start)
+	// Serve-time episodes come from the environment's pool: Sequence
+	// copies the result out, so the episode (and its scratch buffers) can
+	// go straight back for the next request.
+	ep, err := env.AcquireEpisode(start)
 	if err != nil {
 		return nil, err
 	}
+	defer env.ReleaseEpisode(ep)
+	var sc walkScratch
 	for !ep.Done() {
-		e, ok := p.nextAction(env, ep, guided, nil)
+		e, ok := p.nextAction(env, ep, guided, nil, &sc)
 		if !ok {
 			break
 		}
 		ep.Step(e)
 	}
 	return ep.Sequence(), nil
+}
+
+// walkScratch carries the per-walk reusable tie buffer so one
+// recommendation allocates at most once for it regardless of length.
+// A walkScratch belongs to one goroutine.
+type walkScratch struct {
+	ties []int
 }
 
 // compatible checks that the policy covers the environment's catalog.
@@ -462,7 +497,8 @@ func (p *Policy) NextGuided(env *mdp.Env, ep *mdp.Episode, exclude func(int) boo
 	if p.compatible(env) != nil || ep.Done() {
 		return -1, false
 	}
-	return p.nextAction(env, ep, true, exclude)
+	var sc walkScratch
+	return p.nextAction(env, ep, true, exclude, &sc)
 }
 
 // guidedMask builds the split/budget pacing filter of the guided walk for
@@ -522,8 +558,9 @@ func guidedMask(env *mdp.Env, ep *mdp.Episode) func(int) bool {
 }
 
 // nextAction picks one action for the episode's current state.
-func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude func(int) bool) (int, bool) {
+func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude func(int) bool, sc *walkScratch) (int, bool) {
 	s := ep.Last()
+	c := p.Compiled()
 	allowed := func(a int) bool {
 		return ep.CanStep(a) && (exclude == nil || !exclude(a))
 	}
@@ -531,9 +568,14 @@ func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude 
 	// argmax picks the highest-Q action under a mask, breaking Q ties by
 	// immediate Equation 2 reward and then by index. Tie-breaking matters:
 	// states the training episodes never reached have all-zero Q rows, and
-	// there the immediate reward is the only signal.
+	// there the immediate reward is the only signal. The compiled order
+	// walks candidates by descending Q and stops at the end of the first
+	// allowed tie run — identical ties (same values, same ascending
+	// order) to the masked ArgMaxTies scan it replaces, without visiting
+	// all n actions.
 	argmax := func(mask func(int) bool) (int, bool) {
-		ties := p.Q.ArgMaxTies(s, mask)
+		sc.ties = c.AppendArgMaxTies(s, mask, sc.ties[:0])
+		ties := sc.ties
 		switch len(ties) {
 		case 0:
 			return -1, false

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/rlplanner/rlplanner/internal/constraints"
@@ -63,6 +64,12 @@ func (in *Instance) GoldScore() float64 { return in.inner.GoldScore }
 
 // DefaultStart returns the default starting item id (s_1 of Table III).
 func (in *Instance) DefaultStart() string { return in.inner.DefaultStart }
+
+// HasItem reports whether the catalog contains an item with the id.
+func (in *Instance) HasItem(id string) bool {
+	_, ok := in.inner.Catalog.Index(id)
+	return ok
+}
 
 // Item describes one catalog item.
 type Item struct {
@@ -105,39 +112,60 @@ func (in *Instance) Items() []Item {
 	return out
 }
 
+// builtins holds the built-in instances, constructed once. Building an
+// instance compiles its catalog, prerequisite expressions and constraint
+// templates from the raw dataset specs — far too expensive to redo on
+// every InstanceByName lookup, which sits on the serving hot path.
+// Instances are immutable after construction, so sharing them is safe.
+var builtins struct {
+	once    sync.Once
+	courses []*Instance
+	trips   []*Instance
+	byName  map[string]*Instance
+}
+
+func builtinInstances() ([]*Instance, []*Instance, map[string]*Instance) {
+	builtins.once.Do(func() {
+		for _, in := range append(univ.Univ1All(), univ.Univ2DS()) {
+			builtins.courses = append(builtins.courses, &Instance{inner: in})
+		}
+		for _, in := range trip.Instances() {
+			builtins.trips = append(builtins.trips, &Instance{inner: in})
+		}
+		builtins.byName = make(map[string]*Instance)
+		for _, in := range append(builtins.courses, builtins.trips...) {
+			builtins.byName[in.Name()] = in
+		}
+	})
+	return builtins.courses, builtins.trips, builtins.byName
+}
+
 // CourseInstances returns the four built-in degree programs (§IV-A1):
 // Univ-1 M.S. DS-CT, Univ-1 M.S. Cybersecurity, Univ-1 M.S. CS and
 // Univ-2 M.S. DS.
 func CourseInstances() []*Instance {
-	insts := append(univ.Univ1All(), univ.Univ2DS())
-	out := make([]*Instance, len(insts))
-	for i, in := range insts {
-		out[i] = &Instance{inner: in}
-	}
-	return out
+	courses, _, _ := builtinInstances()
+	return append([]*Instance(nil), courses...)
 }
 
 // TripInstances returns the two built-in city trips: NYC and Paris.
 func TripInstances() []*Instance {
-	insts := trip.Instances()
-	out := make([]*Instance, len(insts))
-	for i, in := range insts {
-		out[i] = &Instance{inner: in}
-	}
-	return out
+	_, trips, _ := builtinInstances()
+	return append([]*Instance(nil), trips...)
 }
 
 // Instances returns every built-in instance.
 func Instances() []*Instance {
-	return append(CourseInstances(), TripInstances()...)
+	courses, trips, _ := builtinInstances()
+	out := make([]*Instance, 0, len(courses)+len(trips))
+	return append(append(out, courses...), trips...)
 }
 
 // InstanceByName finds a built-in instance by its exact name.
 func InstanceByName(name string) (*Instance, error) {
-	for _, in := range Instances() {
-		if in.Name() == name {
-			return in, nil
-		}
+	_, _, byName := builtinInstances()
+	if in, ok := byName[name]; ok {
+		return in, nil
 	}
 	return nil, fmt.Errorf("rlplanner: unknown instance %q (have %v)", name, instanceNames())
 }
