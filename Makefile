@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... .
 # plus the daemon's signal-drain tests.
 FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-.PHONY: check vet build test race faults bench-hot bench-json servebench
+.PHONY: check vet build test race faults bench-hot bench-json servebench trainbench
 
 check: vet build test race faults
 
@@ -47,3 +47,10 @@ bench-json:
 # purpose.
 servebench:
 	$(GO) run ./cmd/benchharness -serve -serve-baseline results/BENCH_serve.json -benchjson /tmp/rlplanner-servebench
+
+# Training-throughput bench (cold-train scaling over worker counts plus
+# one warm-start derivation), gated against the committed record: a >2x
+# cold-train wall-clock regression fails (DESIGN §12). Same move-the-
+# baseline-on-purpose discipline as servebench.
+trainbench:
+	$(GO) run ./cmd/benchharness -train -train-baseline results/BENCH_train.json -benchjson /tmp/rlplanner-trainbench

@@ -8,6 +8,8 @@
 //	             [-workers 0] [-benchjson dir] [-list-engines]
 //	             [-serve] [-serve-instance name] [-serve-conc 0]
 //	             [-serve-duration 3s] [-serve-batch 64] [-serve-baseline file]
+//	             [-train] [-train-instance name] [-train-perturb 5]
+//	             [-train-runs 3] [-train-baseline file]
 //
 // -list-engines prints the registered planning engines the experiments
 // route through and exits.
@@ -18,6 +20,14 @@
 // reports p50/p99 latency, throughput and allocs per request. With
 // -benchjson it writes BENCH_serve.json; with -serve-baseline it fails
 // on a >2x p99 regression against a committed record.
+//
+// -train switches the harness into training-throughput mode: it
+// cold-trains the SARSA engine at 1/2/4/8 walkers (best-of -train-runs
+// wall clock, episodes/s and speedup vs one walker), then warm-starts a
+// derivation onto a -train-perturb-item catalog revision and compares
+// it against the cold time. With -benchjson it writes BENCH_train.json;
+// with -train-baseline it fails on a >2x cold-train wall-clock
+// regression against a committed record.
 //
 // -quick trades fidelity for speed (3 runs, 150 episodes); the default
 // reproduces the paper's 10-run averages at the Table III episode counts.
@@ -66,6 +76,12 @@ func main() {
 		serveDuration = flag.Duration("serve-duration", 3*time.Second, "timed phase length for -serve")
 		serveBatch    = flag.Int("serve-batch", 64, "plans per /api/plan/batch request for -serve (0 = skip the batch phase)")
 		serveBaseline = flag.String("serve-baseline", "", "committed BENCH_serve.json to gate against (>2x p99 regression fails)")
+
+		train         = flag.Bool("train", false, "training-throughput mode: benchmark cold-train scaling and warm-start derivation, then exit")
+		trainInstance = flag.String("train-instance", "Univ-1 M.S. DS-CT", "instance for -train")
+		trainPerturb  = flag.Int("train-perturb", 5, "catalog items renamed for the warm-start phase of -train")
+		trainRuns     = flag.Int("train-runs", 3, "timed repetitions per -train configuration (best-of)")
+		trainBaseline = flag.String("train-baseline", "", "committed BENCH_train.json to gate against (>2x cold-train regression fails)")
 	)
 	flag.Parse()
 
@@ -108,6 +124,40 @@ func main() {
 		}
 		if *serveBaseline != "" {
 			if err := checkServeBaseline(*serveBaseline, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *train {
+		rec, err := trainBench(trainConfig{
+			Instance: *trainInstance,
+			Episodes: *episodes,
+			Seed:     *seed,
+			PerturbK: *trainPerturb,
+			Runs:     *trainRuns,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "train: %v\n", err)
+			os.Exit(1)
+		}
+		for _, pt := range rec.Cold {
+			fmt.Printf("train: cold %d episodes, workers=%d: %s (%.0f episodes/s, %.2fx vs 1 worker)\n",
+				rec.Episodes, pt.Workers, time.Duration(pt.Ns), pt.EpisodesPerSec, pt.Speedup)
+		}
+		fmt.Printf("train: warm-start (%d-item revision, distance %.3f): %d of %d episodes, %s (%.2fx vs cold)\n",
+			rec.PerturbK, rec.WarmDistance, rec.WarmEpisodes, rec.ColdEpisodes,
+			time.Duration(rec.WarmNs), rec.WarmSpeedup)
+		if *benchjson != "" {
+			if err := writeTrainRecord(*benchjson, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "train: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *trainBaseline != "" {
+			if err := checkTrainBaseline(*trainBaseline, rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/rlplanner/rlplanner"
+)
+
+// trainConfig parameterizes the training-throughput harness (-train).
+type trainConfig struct {
+	Instance string
+	Episodes int
+	Seed     int64
+	PerturbK int
+	Runs     int
+}
+
+// trainWorkerCounts are the worker counts the cold-start scaling curve
+// sweeps. 1 is the parallel protocol on one walker (the determinism
+// reference); the rest show how throughput scales with cores.
+var trainWorkerCounts = []int{1, 2, 4, 8}
+
+// trainPoint is one cold-train measurement at a fixed worker count.
+// Speedup is relative to the workers=1 point of the same record; on a
+// single-core box it hovers near 1 by construction.
+type trainPoint struct {
+	Workers        int     `json:"workers"`
+	Ns             int64   `json:"ns"`
+	EpisodesPerSec float64 `json:"episodes_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// trainRecord is the machine-readable training-perf record written as
+// BENCH_train.json: the cold-start wall-clock scaling curve over worker
+// counts, plus one warm-start derivation (a PerturbK-item catalog
+// revision) against the workers=1 cold time. GOMAXPROCS is recorded
+// because the cold curve is meaningless without it — walker parallelism
+// cannot beat the core count.
+type trainRecord struct {
+	Name         string       `json:"name"`
+	Instance     string       `json:"instance"`
+	Engine       string       `json:"engine"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	Episodes     int          `json:"episodes"`
+	Cold         []trainPoint `json:"cold"`
+	PerturbK     int          `json:"perturb_k"`
+	WarmDistance float64      `json:"warm_distance"`
+	ColdEpisodes int          `json:"cold_episodes"`
+	WarmEpisodes int          `json:"warm_episodes"`
+	ColdNs       int64        `json:"cold_ns"`
+	WarmNs       int64        `json:"warm_ns"`
+	WarmSpeedup  float64      `json:"warm_speedup"`
+}
+
+// trainBench measures cold-train wall clock at each worker count
+// (best-of-Runs, so scheduler noise does not masquerade as regression)
+// and then one warm-start derivation onto a PerturbK-item catalog
+// revision, comparing it against the workers=1 cold time. Every run
+// goes through the public Train/Derive API — the same path rlplannerd
+// exercises.
+func trainBench(cfg trainConfig) (trainRecord, error) {
+	rec := trainRecord{
+		Name:       "train",
+		Instance:   cfg.Instance,
+		Engine:     "sarsa",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PerturbK:   cfg.PerturbK,
+	}
+	inst, err := rlplanner.InstanceByName(cfg.Instance)
+	if err != nil {
+		return rec, err
+	}
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	ctx := context.Background()
+	opts := rlplanner.Options{Episodes: cfg.Episodes, Seed: cfg.Seed}
+
+	// Cold-start scaling curve. The workers=1 policy doubles as the
+	// warm-start source below.
+	var src *rlplanner.Policy
+	for _, w := range trainWorkerCounts {
+		o := opts
+		o.TrainWorkers = w
+		var best int64
+		var pol *rlplanner.Policy
+		for r := 0; r < cfg.Runs; r++ {
+			t0 := time.Now()
+			p, err := rlplanner.Train(ctx, inst, "sarsa", o)
+			ns := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return rec, fmt.Errorf("cold train (workers=%d): %w", w, err)
+			}
+			if best == 0 || ns < best {
+				best, pol = ns, p
+			}
+		}
+		rec.Episodes = pol.EpisodesTrained()
+		pt := trainPoint{
+			Workers:        w,
+			Ns:             best,
+			EpisodesPerSec: float64(rec.Episodes) / (float64(best) / 1e9),
+		}
+		if len(rec.Cold) > 0 {
+			pt.Speedup = float64(rec.Cold[0].Ns) / float64(best)
+		} else {
+			pt.Speedup = 1
+			src = pol
+		}
+		rec.Cold = append(rec.Cold, pt)
+	}
+	rec.ColdNs = rec.Cold[0].Ns
+
+	// Warm-start phase: derive the workers=1 policy onto a PerturbK-item
+	// revision of the same catalog and time the distance-scaled retrain.
+	spec, err := perturbInstanceSpec(inst, cfg.PerturbK)
+	if err != nil {
+		return rec, err
+	}
+	target, err := rlplanner.NewInstance(spec)
+	if err != nil {
+		return rec, err
+	}
+	var warmBest int64
+	for r := 0; r < cfg.Runs; r++ {
+		t0 := time.Now()
+		_, stats, err := rlplanner.Derive(ctx, src, target, opts)
+		ns := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return rec, fmt.Errorf("warm derive: %w", err)
+		}
+		if warmBest == 0 || ns < warmBest {
+			warmBest = ns
+		}
+		rec.WarmDistance = stats.Distance
+		rec.ColdEpisodes = stats.ColdEpisodes
+		rec.WarmEpisodes = stats.WarmEpisodes
+	}
+	rec.WarmNs = warmBest
+	rec.WarmSpeedup = float64(rec.ColdNs) / float64(rec.WarmNs)
+	return rec, nil
+}
+
+// perturbInstanceSpec renames k leaf items of inst's spec (skipping the
+// default start and any item another item's prerequisite references),
+// simulating a catalog revision of k items with unchanged topics — the
+// incremental-retraining scenario warm-start derivation targets.
+func perturbInstanceSpec(inst *rlplanner.Instance, k int) (rlplanner.InstanceSpec, error) {
+	spec := inst.Spec()
+	spec.Name = spec.Name + " rev"
+	renamed := 0
+	for i := range spec.Items {
+		if renamed == k {
+			break
+		}
+		id := spec.Items[i].ID
+		if id == spec.DefaultStart {
+			continue
+		}
+		referenced := false
+		for j := range spec.Items {
+			if j != i && strings.Contains(spec.Items[j].Prereq, id) {
+				referenced = true
+				break
+			}
+		}
+		if referenced {
+			continue
+		}
+		spec.Items[i].ID = id + " (rev)"
+		renamed++
+	}
+	if renamed != k {
+		return spec, fmt.Errorf("perturb: could only rename %d of %d items in %s",
+			renamed, k, inst.Name())
+	}
+	return spec, nil
+}
+
+// checkTrainBaseline compares a fresh train record against a committed
+// baseline file and fails on a >2× cold-train wall-clock regression at
+// workers=1 — the CI guardrail for training throughput, mirroring the
+// serve-path p99 gate.
+func checkTrainBaseline(path string, rec trainRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("train baseline: %w", err)
+	}
+	var base trainRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("train baseline %s: %w", path, err)
+	}
+	if base.ColdNs <= 0 {
+		return fmt.Errorf("train baseline %s: no cold_ns recorded", path)
+	}
+	if rec.ColdNs > 2*base.ColdNs {
+		return fmt.Errorf("cold-train regression: %s now vs %s baseline (>2x)",
+			time.Duration(rec.ColdNs), time.Duration(base.ColdNs))
+	}
+	return nil
+}
+
+// writeTrainRecord writes rec to dir/BENCH_train.json.
+func writeTrainRecord(dir string, rec trainRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_train.json"), append(data, '\n'), 0o644)
+}

@@ -10,6 +10,7 @@
 //	GET  /api/policies                   list cached policies
 //	POST /api/policies/export            train and download a policy artifact
 //	POST /api/policies/import?instance=  upload an artifact for serving
+//	POST /api/policies/{key}/derive      warm-start a policy for another catalog
 //	POST /api/plan                       {"instance": ..., "engine": ..., "episodes": ...}
 //	POST /api/rate                       {"instance": ..., "items": [...]}
 //	POST /api/sessions                   open an interactive session
@@ -25,10 +26,18 @@
 // faulting policy key instead of the process, and SIGTERM/SIGINT drains
 // in-flight requests before exiting.
 //
+// Training throughput is tunable: -train-workers runs each cold start's
+// episode walkers in parallel (bit-identical results for any worker
+// count), and auto-derivation (on by default, -auto-derive=false to
+// disable) warm-starts cold requests from the nearest cached policy when
+// only a few catalog items changed, shrinking the episode budget by the
+// catalog distance.
+//
 // Usage:
 //
 //	rlplannerd [-addr :8080] [-policy-cache 128] [-train-timeout 0]
-//	           [-max-training 0] [-drain-timeout 10s] [-pprof addr]
+//	           [-max-training 0] [-train-workers 0] [-auto-derive]
+//	           [-drain-timeout 10s] [-pprof addr]
 package main
 
 import (
@@ -53,6 +62,10 @@ func main() {
 		"wall-clock budget per training run (0 = unbounded); sarsa and qlearning checkpoint a partial policy at the deadline")
 	maxTraining := flag.Int("max-training", 0,
 		"max concurrent cold-start trainings (0 = unlimited); requests beyond the cap get 503 + Retry-After")
+	trainWorkers := flag.Int("train-workers", 0,
+		"episode walkers per training run (0 = sequential); results are bit-identical for any worker count")
+	autoDerive := flag.Bool("auto-derive", true,
+		"warm-start cold trainings from the nearest cached policy on catalog near-miss")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"grace period for in-flight requests after SIGTERM/SIGINT")
 	pprofAddr := flag.String("pprof", "",
@@ -86,6 +99,8 @@ func main() {
 		httpapi.WithPolicyCacheSize(*cache),
 		httpapi.WithTrainBudget(*trainTimeout),
 		httpapi.WithMaxTraining(*maxTraining),
+		httpapi.WithTrainWorkers(*trainWorkers),
+		httpapi.WithAutoDerive(*autoDerive),
 	); err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/qtable"
 	"github.com/rlplanner/rlplanner/internal/reward"
 	"github.com/rlplanner/rlplanner/internal/sarsa"
 	"github.com/rlplanner/rlplanner/internal/seqsim"
@@ -69,6 +70,17 @@ type Options struct {
 	// checkpoints its Q table at the deadline and returns the best-so-far
 	// policy marked "partial" instead of an error.
 	TrainBudget time.Duration
+	// TrainWorkers selects the training schedule (sarsa.Config.Workers):
+	// 0 keeps the sequential Algorithm 1 loop; any value >= 1 uses the
+	// batch-synchronous parallel protocol, which is bit-identical for
+	// every worker count. Not part of the environment key — a worker
+	// count never changes what is learned under the parallel protocol.
+	TrainWorkers int
+	// InitQ warm-starts learning from an existing Q table
+	// (sarsa.Config.Init): the incremental-retraining path feeds a
+	// transfer-mapped table from the nearest artifact here. The table is
+	// cloned before use and must cover the instance's catalog size.
+	InitQ *qtable.Table
 	// OnEpisode, when non-nil, observes each completed learning episode
 	// (sarsa.Config.OnEpisode) — an observability/test hook, not a
 	// learning knob.
@@ -210,6 +222,8 @@ func NewWithEnv(inst *dataset.Instance, opts Options, env *mdp.Env) (*Planner, e
 		Explore:        opts.Explore,
 		DisableExplore: opts.DisableExplore,
 		Seed:           opts.Seed,
+		Workers:        opts.TrainWorkers,
+		Init:           opts.InitQ,
 		OnEpisode:      opts.OnEpisode,
 	}
 	if opts.Episodes != 0 {
@@ -277,6 +291,26 @@ func (p *Planner) Learned() bool { return p.result != nil }
 // Partial reports whether the last Learn was checkpointed at a context
 // deadline before completing its episode budget.
 func (p *Planner) Partial() bool { return p.result != nil && p.result.Interrupted }
+
+// TrainedEpisodes returns how many learning episodes the last Learn
+// completed — the full budget for a complete run, fewer for one
+// checkpointed at its deadline. Zero before Learn.
+func (p *Planner) TrainedEpisodes() int {
+	if p.result == nil {
+		return 0
+	}
+	return p.result.EpisodesCompleted()
+}
+
+// MergeBatches returns how many deterministic merge rounds the last
+// Learn ran under the parallel schedule (0 for the sequential schedule
+// or before Learn).
+func (p *Planner) MergeBatches() int {
+	if p.result == nil {
+		return 0
+	}
+	return p.result.MergeBatches
+}
 
 // Policy returns the learned policy, or nil before Learn.
 func (p *Planner) Policy() *sarsa.Policy {

@@ -18,8 +18,10 @@ const (
 	artifactMagic = "rlplanner-policy"
 	// ArtifactVersion is the current artifact format version. Readers
 	// accept any version up to this one; newer versions are refused with
-	// an explicit error instead of a misdecode.
-	ArtifactVersion = 1
+	// an explicit error instead of a misdecode. v2 added the training
+	// provenance fields (Episodes, Degraded, WarmFrom, WarmDistance);
+	// gob leaves them zero when decoding a v1 stream.
+	ArtifactVersion = 2
 )
 
 // artifact is the on-disk form of a Policy: a header identifying the
@@ -36,17 +38,31 @@ type artifact struct {
 	Seed        int64
 	Q           []float64
 	IDs         []string
+	// Episodes records how many learning episodes completed — for a
+	// partial checkpoint, how far training got before its deadline.
+	Episodes int
+	// Degraded preserves the policy's degradation marker (e.g.
+	// DegradedPartial) across save/load.
+	Degraded string
+	// WarmFrom/WarmDistance record warm-start provenance for derived
+	// policies ("" / 0 for cold-trained ones).
+	WarmFrom     string
+	WarmDistance float64
 }
 
 // artifactFor snapshots a policy. values is nil for procedural engines.
 func artifactFor(m meta, values *sarsa.Policy, seed int64) artifact {
 	a := artifact{
-		Magic:       artifactMagic,
-		Version:     ArtifactVersion,
-		Engine:      m.engine,
-		Instance:    m.instance,
-		Fingerprint: m.fp,
-		Seed:        seed,
+		Magic:        artifactMagic,
+		Version:      ArtifactVersion,
+		Engine:       m.engine,
+		Instance:     m.instance,
+		Fingerprint:  m.fp,
+		Seed:         seed,
+		Episodes:     m.episodes,
+		Degraded:     m.degraded,
+		WarmFrom:     m.warmFrom,
+		WarmDistance: m.warmDistance,
 	}
 	if values != nil {
 		n := values.Q.Size()
@@ -131,8 +147,13 @@ func Load(r io.Reader, inst *dataset.Instance, opts core.Options) (Policy, error
 	if err != nil {
 		return nil, err
 	}
+	m := metaFor(d.Name, inst, p.Env().Hard())
+	m.episodes = a.Episodes
+	m.degraded = a.Degraded
+	m.warmFrom = a.WarmFrom
+	m.warmDistance = a.WarmDistance
 	return &valuePolicy{
-		meta:   metaFor(d.Name, inst, p.Env().Hard()),
+		meta:   m,
 		env:    p.Env(),
 		start:  p.SarsaConfig().Start,
 		values: values,

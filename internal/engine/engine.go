@@ -115,3 +115,41 @@ func Degradation(p Policy) string {
 	}
 	return ""
 }
+
+// EpisodicPolicy is implemented by policies that record how many
+// learning episodes actually completed — the full budget for a complete
+// run, fewer for one checkpointed at its training deadline. Paired with
+// DegradedPartial it tells operators how far a degraded artifact got.
+type EpisodicPolicy interface {
+	Policy
+	// Episodes returns the completed learning-episode count (0 for
+	// solvers without an episodic loop).
+	Episodes() int
+}
+
+// Episodes reports a policy's completed learning-episode count, 0 for
+// policies that carry none.
+func Episodes(p Policy) int {
+	if e, ok := p.(EpisodicPolicy); ok {
+		return e.Episodes()
+	}
+	return 0
+}
+
+// WarmStartedPolicy is implemented by policies that record warm-start
+// provenance: derived policies name the artifact they were seeded from
+// and the transfer mapping's warm-start distance.
+type WarmStartedPolicy interface {
+	Policy
+	// WarmStart returns ("", 0) for cold-trained policies.
+	WarmStart() (source string, distance float64)
+}
+
+// WarmStart reports a policy's warm-start provenance, ("", 0) for
+// cold-trained policies or ones that carry none.
+func WarmStart(p Policy) (string, float64) {
+	if w, ok := p.(WarmStartedPolicy); ok {
+		return w.WarmStart()
+	}
+	return "", 0
+}

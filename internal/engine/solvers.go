@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"io"
+	"time"
 
 	"github.com/rlplanner/rlplanner/internal/baselines/eda"
 	"github.com/rlplanner/rlplanner/internal/baselines/gold"
@@ -63,6 +64,15 @@ type meta struct {
 	// degraded is "" for complete artifacts, DegradedPartial for a run
 	// checkpointed at its training deadline.
 	degraded string
+	// episodes counts the learning episodes that actually completed — the
+	// full budget for a complete run, fewer for a partial checkpoint, 0
+	// for solvers without an episodic loop.
+	episodes int
+	// warmFrom names the source artifact a derived policy was seeded
+	// from ("" for cold-trained policies); warmDistance is the transfer
+	// mapping's warm-start distance at derivation time.
+	warmFrom     string
+	warmDistance float64
 }
 
 func (m meta) Engine() string         { return m.engine }
@@ -70,6 +80,11 @@ func (m meta) Instance() string       { return m.instance }
 func (m meta) Fingerprint() string    { return m.fp }
 func (m meta) Hard() constraints.Hard { return m.hard }
 func (m meta) Degradation() string    { return m.degraded }
+func (m meta) Episodes() int          { return m.episodes }
+
+// WarmStart reports the provenance of a derived policy: the source it
+// was seeded from ("" for cold-trained) and the warm-start distance.
+func (m meta) WarmStart() (string, float64) { return m.warmFrom, m.warmDistance }
 
 func metaFor(engine string, inst *dataset.Instance, hard constraints.Hard) meta {
 	return meta{engine: engine, instance: inst.Name, fp: Fingerprint(inst), hard: hard}
@@ -145,10 +160,13 @@ func trainTD(alg sarsa.Algorithm) TrainFunc {
 		// after ≥1 episode yields the best-so-far Q table, which the
 		// guided recommendation walk can still serve validly — the
 		// artifact is marked partial rather than failing the request.
+		begin := time.Now()
 		if err := p.LearnContext(ctx); err != nil {
 			return nil, err
 		}
+		noteTrainRun(p.TrainedEpisodes(), p.MergeBatches(), time.Since(begin), opts.InitQ != nil)
 		m := metaFor(name, inst, p.Env().Hard())
+		m.episodes = p.TrainedEpisodes()
 		if p.Partial() {
 			m.degraded = DegradedPartial
 		}

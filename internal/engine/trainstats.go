@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// trainStats aggregates process-wide training activity for the serving
+// metrics endpoint, mirroring the environment-cache counters: every
+// tabular training run — cold or warm-started — reports here from
+// trainTD, whichever layer (HTTP, CLI, harness) initiated it.
+type trainStats struct {
+	runs         atomic.Int64
+	warmStarts   atomic.Int64
+	episodes     atomic.Int64
+	mergeBatches atomic.Int64
+	wallNs       atomic.Int64
+}
+
+var training trainStats
+
+// noteTrainRun records one completed tabular training run.
+func noteTrainRun(episodes, mergeBatches int, wall time.Duration, warm bool) {
+	training.runs.Add(1)
+	if warm {
+		training.warmStarts.Add(1)
+	}
+	training.episodes.Add(int64(episodes))
+	training.mergeBatches.Add(int64(mergeBatches))
+	training.wallNs.Add(wall.Nanoseconds())
+}
+
+// TrainCounters is a snapshot of the process-wide training counters.
+type TrainCounters struct {
+	// Runs counts completed tabular training runs.
+	Runs int64
+	// WarmStarts counts the runs seeded from an existing artifact.
+	WarmStarts int64
+	// Episodes totals the learning episodes completed across runs.
+	Episodes int64
+	// MergeBatches totals the parallel schedule's deterministic merge
+	// rounds (0 while every run used the sequential schedule).
+	MergeBatches int64
+	// WallNs totals training wall-clock time in nanoseconds.
+	WallNs int64
+}
+
+// EpisodesPerSecond derives the aggregate training throughput, 0 before
+// any run completed.
+func (c TrainCounters) EpisodesPerSecond() float64 {
+	if c.WallNs <= 0 {
+		return 0
+	}
+	return float64(c.Episodes) / (float64(c.WallNs) / float64(time.Second))
+}
+
+// TrainStats reports the cumulative training counters.
+func TrainStats() TrainCounters {
+	return TrainCounters{
+		Runs:         training.runs.Load(),
+		WarmStarts:   training.warmStarts.Load(),
+		Episodes:     training.episodes.Load(),
+		MergeBatches: training.mergeBatches.Load(),
+		WallNs:       training.wallNs.Load(),
+	}
+}

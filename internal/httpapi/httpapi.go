@@ -54,7 +54,16 @@ type Server struct {
 	// batchWorkers bounds the concurrent recommendation walks of one
 	// /api/plan/batch request (DefaultBatchWorkers when <= 0).
 	batchWorkers int
-	metrics      resilience.Metrics
+	// trainWorkers is the worker count every cold-start training run uses
+	// (0 = the sequential schedule). The parallel protocol is
+	// bit-identical for any count, so this is a deployment throughput
+	// knob, not part of the policy cache key.
+	trainWorkers int
+	// autoDerive enables warm-starting cold requests for the TD engines
+	// from the nearest cached policy of a different catalog (fingerprint
+	// near-miss) instead of training from zeros.
+	autoDerive bool
+	metrics    resilience.Metrics
 
 	// onTrain, when set, observes every actual training run (not cache
 	// hits or singleflight followers). Tests use it to count and to
@@ -111,14 +120,38 @@ func WithFallbackEngine(name string) Option {
 	return func(s *Server) { s.fallback = name }
 }
 
+// WithTrainWorkers sets the worker count for every cold-start training
+// run (n <= 0 keeps the sequential schedule). Because the parallel
+// protocol is bit-identical for any worker count, changing this never
+// changes the policies a deployment serves — only how fast cold starts
+// finish.
+func WithTrainWorkers(n int) Option {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.trainWorkers = n
+	}
+}
+
+// WithAutoDerive toggles warm-start derivation on fingerprint near-miss
+// (default on): when a cold request targets a catalog close to one an
+// existing cached TD policy was trained on, training seeds from that
+// policy with a distance-scaled episode budget instead of starting from
+// zeros. Disable it to force every cold start to train from scratch.
+func WithAutoDerive(enabled bool) Option {
+	return func(s *Server) { s.autoDerive = enabled }
+}
+
 // New returns an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
-		sessions: make(map[string]*sessionState),
-		custom:   make(map[string]*rlplanner.Instance),
-		policies: engine.NewStore[*rlplanner.Policy](0),
-		breaker:  resilience.NewBreaker(0, 0),
-		fallback: "gold",
+		sessions:   make(map[string]*sessionState),
+		custom:     make(map[string]*rlplanner.Instance),
+		policies:   engine.NewStore[*rlplanner.Policy](0),
+		breaker:    resilience.NewBreaker(0, 0),
+		fallback:   "gold",
+		autoDerive: true,
 	}
 	for _, o := range opts {
 		o(s)
@@ -148,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/policies", s.listPolicies)
 	mux.HandleFunc("POST /api/policies/export", s.exportPolicy)
 	mux.HandleFunc("POST /api/policies/import", s.importPolicy)
+	mux.HandleFunc("POST /api/policies/{id}/derive", s.derivePolicy)
 	mux.HandleFunc("POST /api/plan", s.plan)
 	mux.HandleFunc("POST /api/plan/batch", s.planBatch)
 	mux.HandleFunc("POST /api/rate", s.rate)
@@ -341,7 +375,7 @@ func (s *Server) policy(ctx context.Context, inst *rlplanner.Instance, engineNam
 		if s.onTrain != nil {
 			s.onTrain(key)
 		}
-		return rlplanner.Train(trainCtx, inst, engineName, req.options())
+		return s.trainOrDerive(trainCtx, inst, engineName, req)
 	})
 	if ran {
 		// Only the singleflight leader updates the breaker and counters:

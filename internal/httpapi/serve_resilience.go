@@ -141,7 +141,9 @@ func (s *Server) planFrom(ctx context.Context, inst *rlplanner.Instance, engineN
 	resp := &planResponse{Plan: plan, ServedBy: pol.Engine()}
 	if pol.Degraded() == engine.DegradedPartial {
 		resp.Degraded = true
-		resp.DegradedReason = "partial policy: training checkpointed at its deadline"
+		resp.DegradedReason = fmt.Sprintf(
+			"partial policy: training checkpointed at its deadline after %d episodes",
+			pol.EpisodesTrained())
 	}
 	return resp, nil
 }
@@ -201,5 +203,11 @@ func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
 	m["env_cache_hits"] = int64(ec.Hits)
 	m["env_cache_misses"] = int64(ec.Misses)
 	m["env_cache_size"] = int64(ec.Size)
+	ts := engine.TrainStats()
+	m["train_runs"] = ts.Runs
+	m["train_warm_starts"] = ts.WarmStarts
+	m["train_merge_batches"] = ts.MergeBatches
+	m["train_episodes"] = ts.Episodes
+	m["train_episodes_per_sec"] = int64(ts.EpisodesPerSecond())
 	writeJSON(w, http.StatusOK, m)
 }

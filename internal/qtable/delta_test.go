@@ -1,0 +1,92 @@
+package qtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMergeMatchesSequentialUpdates: replaying a delta must produce the
+// exact floating-point result of applying the same (s, e, target)
+// updates directly with Update, in the same order.
+func TestMergeMatchesSequentialUpdates(t *testing.T) {
+	const n, ops = 7, 200
+	const alpha = 0.75
+	rng := rand.New(rand.NewSource(42))
+
+	direct := New(n)
+	d := NewDelta(n)
+	type op struct {
+		s, e   int
+		target float64
+	}
+	recorded := make([]op, 0, ops)
+	for i := 0; i < ops; i++ {
+		recorded = append(recorded, op{rng.Intn(n), rng.Intn(n), rng.NormFloat64()})
+	}
+	for _, o := range recorded {
+		d.Record(o.s, o.e, o.target)
+	}
+	if d.Len() != ops {
+		t.Fatalf("Len = %d, want %d", d.Len(), ops)
+	}
+
+	// Direct application: Update with sNext = -1 applies exactly
+	// q += alpha*(r - q), i.e. target == r.
+	for _, o := range recorded {
+		direct.Update(o.s, o.e, alpha, o.target, 0.95, -1, -1)
+	}
+	merged := New(n)
+	merged.Merge(d, alpha)
+
+	for s := 0; s < n; s++ {
+		for e := 0; e < n; e++ {
+			if got, want := merged.Get(s, e), direct.Get(s, e); got != want {
+				t.Fatalf("Q(%d,%d): merged %v != direct %v", s, e, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeChainsRepeatedPairs: two ops on one (s,e) pair must chain —
+// the second op reads the first one's result, not the base value.
+func TestMergeChainsRepeatedPairs(t *testing.T) {
+	tab := New(2)
+	d := NewDelta(2)
+	d.Record(0, 1, 1.0)
+	d.Record(0, 1, 1.0)
+	tab.Merge(d, 0.5)
+	// 0 -> 0.5 -> 0.75, not 0.5 twice from base 0.
+	if got := tab.Get(0, 1); got != 0.75 {
+		t.Fatalf("chained merge: got %v, want 0.75", got)
+	}
+}
+
+func TestDeltaReset(t *testing.T) {
+	d := NewDelta(3)
+	d.Record(0, 1, 2.0)
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", d.Len())
+	}
+	tab := New(3)
+	tab.Merge(d, 0.5)
+	if got := tab.Get(0, 1); got != 0 {
+		t.Fatalf("merge of reset delta mutated table: %v", got)
+	}
+}
+
+func TestDeltaBoundsPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	d := NewDelta(3)
+	mustPanic("row out of range", func() { d.Record(3, 0, 1) })
+	mustPanic("col negative", func() { d.Record(0, -1, 1) })
+	mustPanic("size mismatch", func() { New(4).Merge(d, 0.5) })
+}

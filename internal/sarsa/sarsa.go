@@ -102,10 +102,27 @@ type Config struct {
 	DisableExplore bool
 	// Seed drives all randomness; the same seed reproduces the same policy.
 	Seed int64
+	// Workers selects the training schedule. 0 keeps the sequential
+	// Algorithm 1 loop exactly as before (one rng stream threaded through
+	// every episode). Any value >= 1 switches to the batch-synchronous
+	// parallel protocol of DESIGN §12: episodes carry seed-indexed rngs,
+	// walk against the Q table frozen at the last batch boundary, and
+	// their recorded deltas merge in episode-index order after every
+	// MergeBatch episodes. The protocol is bit-identical for every
+	// Workers >= 1 — Workers=1 and Workers=64 produce the same Q table —
+	// so the worker count is purely a throughput knob.
+	Workers int
+	// Init warm-starts learning from an existing Q table instead of
+	// zeros (the table is cloned, never mutated). The incremental
+	// retraining path feeds a transfer-mapped table from the nearest
+	// existing artifact here, paired with a distance-scaled episode
+	// budget. Init must cover the environment's catalog size.
+	Init *qtable.Table
 	// OnEpisode, when non-nil, observes each completed episode index
 	// (0-based). Progress reporting and the deadline tests hook it; it
 	// runs outside the per-step hot loop, so a cheap callback does not
-	// perturb learning performance.
+	// perturb learning performance. Under the parallel schedule it is
+	// invoked during the single-threaded merge, in episode order.
 	OnEpisode func(i int)
 }
 
@@ -126,6 +143,9 @@ func (c Config) Validate() error {
 	}
 	if c.Explore < 0 || c.Explore > 1 {
 		return fmt.Errorf("sarsa: explore = %g, want [0,1]", c.Explore)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sarsa: workers = %d, want >= 0", c.Workers)
 	}
 	return nil
 }
@@ -186,7 +206,17 @@ type Result struct {
 	// recommendation walk enforces validity independently of how
 	// converged the values are.
 	Interrupted bool
+	// MergeBatches counts the deterministic merge rounds the parallel
+	// schedule ran (0 under the sequential schedule) — an observability
+	// figure for the train_* metrics.
+	MergeBatches int
 }
+
+// EpisodesCompleted returns how many learning episodes finished — the
+// full budget for a complete run, fewer for one checkpointed at its
+// deadline. Degraded artifacts surface it so operators can see how far
+// training got.
+func (r *Result) EpisodesCompleted() int { return len(r.EpisodeReturns) }
 
 // Learn runs Algorithm 1's learning phase on env.
 func Learn(env *mdp.Env, cfg Config) (*Result, error) {
@@ -211,9 +241,15 @@ func LearnContext(ctx context.Context, env *mdp.Env, cfg Config) (*Result, error
 	if cfg.Start != RandomStart && (cfg.Start < 0 || cfg.Start >= n) {
 		return nil, fmt.Errorf("sarsa: start item %d out of range [0,%d)", cfg.Start, n)
 	}
+	q, err := initialQ(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers >= 1 {
+		return learnBatched(ctx, env, cfg, q)
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	q := qtable.New(n)
 	// Cap the preallocation: Episodes is caller-supplied (on the serving
 	// path, request-supplied), and an absurd value must not reserve
 	// gigabytes — or blow a training deadline — before the first episode

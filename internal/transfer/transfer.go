@@ -32,17 +32,11 @@ type Mapping struct {
 	Unmatched int
 }
 
-// Map re-indexes a source policy onto a target catalog and returns the
-// transferred policy plus the mapping diagnostics.
-func Map(src *sarsa.Policy, srcCat, dstCat *item.Catalog) (*sarsa.Policy, *Mapping, error) {
-	if src == nil || src.Q == nil {
-		return nil, nil, fmt.Errorf("transfer: nil source policy")
-	}
-	if src.Q.Size() != srcCat.Len() {
-		return nil, nil, fmt.Errorf("transfer: policy size %d vs source catalog %d",
-			src.Q.Size(), srcCat.Len())
-	}
-
+// Match computes the target→source item mapping without transferring a
+// policy: exact id matches first, then best topic-name Jaccard
+// similarity, then unmatched. The warm-start path uses it to rank
+// candidate source artifacts by Distance before paying for Map.
+func Match(srcCat, dstCat *item.Catalog) *Mapping {
 	srcTopics := topicNameSets(srcCat)
 	dstTopics := topicNameSets(dstCat)
 
@@ -66,6 +60,63 @@ func Map(src *sarsa.Policy, srcCat, dstCat *item.Catalog) (*sarsa.Policy, *Mappi
 			m.Unmatched++
 		}
 	}
+	return m
+}
+
+// Distance is the warm-start distance of the mapping: the fraction of
+// target items without an exact-id source counterpart, in [0, 1]. A
+// catalog that changed by k items out of n is distance k/n from its
+// ancestor; an unrelated catalog is near 1. Topic matches still count
+// toward distance — they transfer useful but inexact values.
+func (m *Mapping) Distance() float64 {
+	if len(m.DstToSrc) == 0 {
+		return 1
+	}
+	return float64(m.ByTopic+m.Unmatched) / float64(len(m.DstToSrc))
+}
+
+// MinWarmFraction floors the warm-start episode budget: even a
+// near-identical catalog retrains at least this fraction of the cold
+// budget, so the re-indexed values get refreshed against the new
+// environment's rewards and constraints.
+const MinWarmFraction = 0.1
+
+// WarmBudget scales a cold-start episode budget by warm-start distance
+// (DESIGN §12): budget = ceil(cold · max(distance, MinWarmFraction)),
+// clamped to [1, cold]. A k-item perturbation of an n-item catalog thus
+// retrains about k/n of the cold budget instead of all of it.
+func WarmBudget(cold int, distance float64) int {
+	if cold <= 0 {
+		return 1
+	}
+	f := distance
+	if f < MinWarmFraction {
+		f = MinWarmFraction
+	}
+	if f >= 1 {
+		return cold
+	}
+	b := int(float64(cold)*f + 0.999999)
+	if b < 1 {
+		b = 1
+	}
+	if b > cold {
+		b = cold
+	}
+	return b
+}
+
+// Map re-indexes a source policy onto a target catalog and returns the
+// transferred policy plus the mapping diagnostics.
+func Map(src *sarsa.Policy, srcCat, dstCat *item.Catalog) (*sarsa.Policy, *Mapping, error) {
+	if src == nil || src.Q == nil {
+		return nil, nil, fmt.Errorf("transfer: nil source policy")
+	}
+	if src.Q.Size() != srcCat.Len() {
+		return nil, nil, fmt.Errorf("transfer: policy size %d vs source catalog %d",
+			src.Q.Size(), srcCat.Len())
+	}
+	m := Match(srcCat, dstCat)
 
 	q := qtable.New(dstCat.Len())
 	for s := 0; s < dstCat.Len(); s++ {

@@ -141,3 +141,43 @@ func TestMappedQValuesComeFromSource(t *testing.T) {
 		t.Fatal("transferred Q value differs from source")
 	}
 }
+
+func TestMatchDistance(t *testing.T) {
+	cs, dsct := univ.Univ1CS(), univ.Univ1DSCT()
+	// Identical catalogs: every item id-matches, distance 0.
+	self := transfer.Match(cs.Catalog, cs.Catalog)
+	if self.ByID != cs.Catalog.Len() || self.Distance() != 0 {
+		t.Fatalf("self-match: ByID=%d distance=%v, want %d and 0",
+			self.ByID, self.Distance(), cs.Catalog.Len())
+	}
+	// Sibling programs: partial overlap, distance strictly inside (0,1).
+	m := transfer.Match(cs.Catalog, dsct.Catalog)
+	if d := m.Distance(); d <= 0 || d >= 1 {
+		t.Fatalf("sibling distance = %v, want in (0,1)", d)
+	}
+	if m.ByID+m.ByTopic+m.Unmatched != dsct.Catalog.Len() {
+		t.Fatalf("match counts %d+%d+%d don't cover %d items",
+			m.ByID, m.ByTopic, m.Unmatched, dsct.Catalog.Len())
+	}
+}
+
+func TestWarmBudget(t *testing.T) {
+	cases := []struct {
+		cold int
+		d    float64
+		want int
+	}{
+		{500, 0, 50},     // floor: MinWarmFraction of the cold budget
+		{500, 0.125, 63}, // k=5 of 40 items → ceil(500·0.125)
+		{500, 0.5, 250},  // half-changed catalog → half budget
+		{500, 1, 500},    // unrelated catalog → full cold budget
+		{500, 2, 500},    // distance clamps at the cold budget
+		{3, 0.01, 1},     // tiny budgets stay >= 1
+		{0, 0.5, 1},      // degenerate cold budget
+	}
+	for _, c := range cases {
+		if got := transfer.WarmBudget(c.cold, c.d); got != c.want {
+			t.Errorf("WarmBudget(%d, %v) = %d, want %d", c.cold, c.d, got, c.want)
+		}
+	}
+}

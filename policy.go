@@ -7,6 +7,7 @@ import (
 
 	"github.com/rlplanner/rlplanner/internal/engine"
 	"github.com/rlplanner/rlplanner/internal/session"
+	"github.com/rlplanner/rlplanner/internal/transfer"
 )
 
 // Engines lists the registered planning engines: the SARSA core
@@ -43,9 +44,77 @@ func Train(ctx context.Context, inst *Instance, engineName string, opts Options)
 	return &Policy{inst: inst, p: pol}, nil
 }
 
+// DeriveStats reports what a warm-start derivation did: how far the
+// target catalog is from the source policy's (the fraction of items
+// without an exact-id match) and how the episode budget shrank.
+type DeriveStats struct {
+	// Source names the instance the source policy was trained on.
+	Source string
+	// Distance is the warm-start distance in [0, 1].
+	Distance float64
+	// ColdEpisodes is the budget a cold run would have trained;
+	// WarmEpisodes is the distance-scaled budget actually trained.
+	ColdEpisodes int
+	WarmEpisodes int
+}
+
+// Derive trains a policy for inst by warm-starting from an existing
+// policy instead of from zeros: the source Q table is re-indexed onto
+// the target catalog (exact item ids first, topic similarity second),
+// training seeds from the mapped values, and the episode budget scales
+// down with the warm-start distance — a catalog that changed by k of n
+// items retrains roughly k/n of the cold budget, floored at 10%. The
+// source must come from a value-based engine (sarsa, qlearning,
+// valueiter); the derived policy trains with the source's TD rule
+// (SARSA for valueiter sources).
+func Derive(ctx context.Context, src *Policy, inst *Instance, opts Options) (*Policy, DeriveStats, error) {
+	if src == nil || inst == nil {
+		return nil, DeriveStats{}, fmt.Errorf("rlplanner: nil source policy or instance")
+	}
+	pol, stats, err := engine.Derive(ctx, src.p, inst.inner, opts.toCore())
+	if err != nil {
+		return nil, DeriveStats{}, err
+	}
+	return &Policy{inst: inst, p: pol}, DeriveStats{
+		Source:       stats.Source,
+		Distance:     stats.Distance,
+		ColdEpisodes: stats.ColdEpisodes,
+		WarmEpisodes: stats.WarmEpisodes,
+	}, nil
+}
+
 // Engine returns the canonical name of the engine that produced the
 // policy.
 func (p *Policy) Engine() string { return p.p.Engine() }
+
+// EpisodesTrained returns how many learning episodes the policy's
+// training run completed: the full budget for a complete run, fewer for
+// one checkpointed at its TrainBudget deadline (see Degraded), and 0
+// for engines without an episodic learning loop.
+func (p *Policy) EpisodesTrained() int { return engine.Episodes(p.p) }
+
+// WarmStartedFrom reports warm-start provenance for policies produced
+// by Derive: the source instance's name and the warm-start distance.
+// Cold-trained policies return ("", 0).
+func (p *Policy) WarmStartedFrom() (source string, distance float64) {
+	return engine.WarmStart(p.p)
+}
+
+// MatchDistance returns the warm-start distance from the policy's
+// training catalog to inst: the fraction of inst's items without an
+// exact-id match in the source catalog, in [0, 1]. Serving layers use
+// it to rank candidate sources before paying for Derive. Only
+// value-based policies carry a catalog; others return an error.
+func (p *Policy) MatchDistance(inst *Instance) (float64, error) {
+	vp, ok := p.p.(engine.ValuePolicy)
+	if !ok || vp.Values() == nil {
+		return 0, fmt.Errorf("rlplanner: engine %s policies carry no catalog to match against", p.Engine())
+	}
+	if inst == nil {
+		return 0, fmt.Errorf("rlplanner: nil instance")
+	}
+	return transfer.Match(vp.Env().Catalog(), inst.inner.Catalog).Distance(), nil
+}
 
 // Fingerprint identifies the catalog the policy was trained on; loading
 // an artifact against an instance with a different fingerprint fails.

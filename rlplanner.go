@@ -65,6 +65,11 @@ func (in *Instance) GoldScore() float64 { return in.inner.GoldScore }
 // DefaultStart returns the default starting item id (s_1 of Table III).
 func (in *Instance) DefaultStart() string { return in.inner.DefaultStart }
 
+// Fingerprint identifies the instance's catalog — the same value
+// Policy.Fingerprint reports for policies trained on it. Two instances
+// share a fingerprint exactly when their catalogs are identical.
+func (in *Instance) Fingerprint() string { return engine.Fingerprint(in.inner) }
+
 // HasItem reports whether the catalog contains an item with the id.
 func (in *Instance) HasItem(id string) bool {
 	_, ok := in.inner.Catalog.Index(id)
@@ -211,6 +216,11 @@ type Options struct {
 	// "partial"; a run canceled before any episode fails with the
 	// context error.
 	TrainBudget time.Duration
+	// TrainWorkers selects the training schedule: 0 keeps the sequential
+	// Algorithm 1 loop, any value >= 1 runs the batch-synchronous
+	// parallel protocol — bit-identical results for every worker count,
+	// so the knob only changes throughput, never the learned policy.
+	TrainWorkers int
 }
 
 func (o Options) toCore() core.Options {
@@ -228,6 +238,7 @@ func (o Options) toCore() core.Options {
 		TimeLimit:     o.TimeLimitHours,
 		MaxDistanceKm: o.MaxDistanceKm,
 		TrainBudget:   o.TrainBudget,
+		TrainWorkers:  o.TrainWorkers,
 	}
 	if o.Epsilon != 0 {
 		c.HasEpsilon = true
