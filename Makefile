@@ -3,7 +3,7 @@ GO ?= go
 # Packages exercising the worker pool, the scratch-buffer hot path and
 # the singleflight serving path — the ones worth a race pass on every
 # change.
-RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/...
+RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/... ./internal/qtable/... ./internal/feedback/...
 
 # Packages holding the resilience layer and its fault-injection matrix:
 # the scriptable fault engine driven through the live HTTP stack
@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... .
 # plus the daemon's signal-drain tests.
 FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-.PHONY: check vet build test race faults bench-hot bench-json servebench trainbench
+.PHONY: check vet build test race faults bench-hot bench-json servebench trainbench userbench
 
 check: vet build test race faults
 
@@ -54,3 +54,10 @@ servebench:
 # baseline-on-purpose discipline as servebench.
 trainbench:
 	$(GO) run ./cmd/benchharness -train -train-baseline results/BENCH_train.json -benchjson /tmp/rlplanner-trainbench
+
+# Fleet-personalization bench: a 100k-user zipf workload of plan reads
+# and feedback posts over one shared policy, gated against the committed
+# record — a >2x p99 regression on the personalized plan path fails, and
+# so does an overlay fleet that outgrows its byte budget (DESIGN §13).
+userbench:
+	$(GO) run ./cmd/benchharness -users 100000 -users-baseline results/BENCH_users.json -benchjson /tmp/rlplanner-userbench

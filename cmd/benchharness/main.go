@@ -10,6 +10,8 @@
 //	             [-serve-duration 3s] [-serve-batch 64] [-serve-baseline file]
 //	             [-train] [-train-instance name] [-train-perturb 5]
 //	             [-train-runs 3] [-train-baseline file]
+//	             [-users 0] [-users-duration 5s] [-users-feedback 0.3]
+//	             [-users-budget 0] [-users-cells 0] [-users-baseline file]
 //
 // -list-engines prints the registered planning engines the experiments
 // route through and exits.
@@ -28,6 +30,16 @@
 // it against the cold time. With -benchjson it writes BENCH_train.json;
 // with -train-baseline it fails on a >2x cold-train wall-clock
 // regression against a committed record.
+//
+// -users N switches the harness into fleet-personalization mode: it
+// mounts the HTTP stack with a bounded per-user overlay budget and
+// drives a zipf-mixed workload from a population of N users — each
+// request is a feedback post (probability -users-feedback) or a
+// personalized plan read — then reports plan-path p50/p99, throughput
+// and the overlay fleet's resident bytes per user from the server's own
+// metrics. With -benchjson it writes BENCH_users.json; with
+// -users-baseline it fails on a >2x p99 regression or an overlay fleet
+// that outgrew its byte budget.
 //
 // -quick trades fidelity for speed (3 runs, 150 episodes); the default
 // reproduces the paper's 10-run averages at the Table III episode counts.
@@ -82,6 +94,14 @@ func main() {
 		trainPerturb  = flag.Int("train-perturb", 5, "catalog items renamed for the warm-start phase of -train")
 		trainRuns     = flag.Int("train-runs", 3, "timed repetitions per -train configuration (best-of)")
 		trainBaseline = flag.String("train-baseline", "", "committed BENCH_train.json to gate against (>2x cold-train regression fails)")
+
+		users         = flag.Int("users", 0, "fleet-personalization mode: zipf user population size (0 = off)")
+		usersDuration = flag.Duration("users-duration", 5*time.Second, "timed phase length for -users")
+		usersConc     = flag.Int("users-conc", 0, "concurrent clients for -users (0 = GOMAXPROCS)")
+		usersFeedback = flag.Float64("users-feedback", 0.3, "fraction of -users requests that post feedback")
+		usersBudget   = flag.Int("users-budget", 0, "overlay byte budget for -users (0 = server default, 64 MiB)")
+		usersCells    = flag.Int("users-cells", 0, "per-user overlay cell cap for -users (0 = default)")
+		usersBaseline = flag.String("users-baseline", "", "committed BENCH_users.json to gate against (>2x p99 or budget overrun fails)")
 	)
 	flag.Parse()
 
@@ -124,6 +144,47 @@ func main() {
 		}
 		if *serveBaseline != "" {
 			if err := checkServeBaseline(*serveBaseline, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *users > 0 {
+		conc := *usersConc
+		if conc <= 0 {
+			conc = runtime.GOMAXPROCS(0)
+		}
+		rec, err := usersBench(usersConfig{
+			Instance: *serveInstance,
+			Engine:   *serveEngine,
+			Episodes: *episodes,
+			Seed:     *seed,
+			Users:    *users,
+			Conc:     conc,
+			Duration: *usersDuration,
+			Feedback: *usersFeedback,
+			Budget:   *usersBudget,
+			Cells:    *usersCells,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "users: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("users: %d plans + %d feedback posts in %s (%d clients, %d-user zipf): %.0f req/s, p50 %s, p99 %s\n",
+			rec.PlanRequests, rec.FeedbackPosts, time.Duration(rec.DurationNs), rec.Conc, rec.Users,
+			rec.ReqPerSec, time.Duration(rec.P50Ns), time.Duration(rec.P99Ns))
+		fmt.Printf("users: overlay fleet: %d users resident, %d bytes (%.0f bytes/user), %d evictions, %d signals\n",
+			rec.OverlayUsers, rec.OverlayBytes, rec.BytesPerUser, rec.OverlayEvicted, rec.Signals)
+		if *benchjson != "" {
+			if err := writeUsersRecord(*benchjson, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "users: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *usersBaseline != "" {
+			if err := checkUsersBaseline(*usersBaseline, rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

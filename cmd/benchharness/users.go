@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rlplanner/rlplanner/internal/httpapi"
+)
+
+// usersConfig parameterizes the fleet-personalization harness (-users):
+// a zipf-mixed workload of plan and feedback requests from a large user
+// population against one shared policy, the deployment shape the
+// per-user overlay layer exists for.
+type usersConfig struct {
+	Instance string
+	Engine   string
+	Episodes int
+	Seed     int64
+	Users    int           // population size (zipf-distributed activity)
+	Conc     int           // concurrent clients
+	Duration time.Duration // timed phase length
+	Feedback float64       // fraction of requests that post feedback
+	Budget   int           // overlay byte budget (0 = server default)
+	Cells    int           // per-user overlay cell cap (0 = default)
+}
+
+// usersRecord is the machine-readable fleet-personalization record
+// written as BENCH_users.json. Latency percentiles cover the plan
+// requests only (feedback posts are the write path; the serving SLO is
+// about reads). The overlay_* figures come from the server's own
+// /api/metrics after the run, so the record captures what the fleet
+// actually held resident — the bounded-memory claim in one number,
+// bytes_per_user.
+type usersRecord struct {
+	Name           string  `json:"name"`
+	Instance       string  `json:"instance"`
+	Engine         string  `json:"engine"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Users          int     `json:"users"`
+	Conc           int     `json:"conc"`
+	FeedbackFrac   float64 `json:"feedback_frac"`
+	BudgetBytes    int     `json:"budget_bytes"`
+	DurationNs     int64   `json:"duration_ns"`
+	PlanRequests   int     `json:"plan_requests"`
+	FeedbackPosts  int     `json:"feedback_posts"`
+	ReqPerSec      float64 `json:"req_per_sec"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	OverlayUsers   int64   `json:"overlay_users"`
+	OverlayBytes   int64   `json:"overlay_bytes"`
+	BytesPerUser   float64 `json:"bytes_per_user"`
+	OverlayEvicted int64   `json:"overlay_evictions"`
+	Signals        int64   `json:"feedback_signals"`
+}
+
+// usersBench mounts the live HTTP stack with a bounded overlay budget,
+// trains the shared policy through one warm-up request, then drives a
+// zipf-mixed workload: each request draws a user from a zipf(1.1)
+// popularity curve over the population — a few very active users, a
+// long tail of one-shot ones — and is a feedback post with probability
+// cfg.Feedback, a personalized plan read otherwise.
+func usersBench(cfg usersConfig) (usersRecord, error) {
+	rec := usersRecord{
+		Name:         "users",
+		Instance:     cfg.Instance,
+		Engine:       cfg.Engine,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Users:        cfg.Users,
+		Conc:         cfg.Conc,
+		FeedbackFrac: cfg.Feedback,
+		BudgetBytes:  cfg.Budget,
+	}
+	api := httpapi.New(httpapi.WithOverlayBudget(cfg.Budget), httpapi.WithOverlayCells(cfg.Cells))
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	client := srv.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = cfg.Conc + 1
+	}
+	post := func(path string, body []byte, out interface{}) (int, error) {
+		resp, err := client.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out == nil {
+			out = &json.RawMessage{}
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s response: %w", path, err)
+		}
+		return resp.StatusCode, nil
+	}
+
+	base := map[string]interface{}{
+		"instance": cfg.Instance,
+		"engine":   cfg.Engine,
+		"episodes": cfg.Episodes,
+		"seed":     cfg.Seed,
+	}
+	warmBody, err := json.Marshal(base)
+	if err != nil {
+		return rec, err
+	}
+	// Warm-up trains the shared policy and captures the base plan the
+	// feedback posts will rate.
+	var warm struct {
+		Steps []struct {
+			ID string `json:"id"`
+		} `json:"steps"`
+	}
+	if code, err := post("/api/plan", warmBody, &warm); err != nil {
+		return rec, err
+	} else if code != http.StatusOK {
+		return rec, fmt.Errorf("warm-up plan returned HTTP %d", code)
+	}
+	items := make([]string, len(warm.Steps))
+	for i, s := range warm.Steps {
+		items[i] = s.ID
+	}
+	if len(items) < 2 {
+		return rec, fmt.Errorf("warm-up plan too short to rate (%d items)", len(items))
+	}
+
+	// Pre-marshal one plan and one feedback body per worker slot; only
+	// the user id varies per request, patched via a map each time (the
+	// harness client cost is not what this benchmark measures).
+	type workerResult struct {
+		lat          []time.Duration
+		plans, posts int
+		err          error
+	}
+	results := make([]workerResult, cfg.Conc)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < cfg.Conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			// zipf s=1.1: the classic popularity skew — the head users
+			// build deep overlays, the tail churns through the LRU.
+			zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.Users-1))
+			req := make(map[string]interface{}, len(base)+4)
+			for k, v := range base {
+				req[k] = v
+			}
+			for time.Now().Before(deadline) {
+				req["user"] = fmt.Sprintf("u%d", zipf.Uint64())
+				if rng.Float64() < cfg.Feedback {
+					req["items"] = items
+					req["useful"] = rng.Intn(2) == 0
+					body, err := json.Marshal(req)
+					if err != nil {
+						res.err = err
+						return
+					}
+					delete(req, "items")
+					delete(req, "useful")
+					if code, err := post("/api/feedback", body, nil); err != nil {
+						res.err = err
+						return
+					} else if code != http.StatusOK {
+						res.err = fmt.Errorf("feedback returned HTTP %d", code)
+						return
+					}
+					res.posts++
+					continue
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					res.err = err
+					return
+				}
+				r0 := time.Now()
+				code, err := post("/api/plan", body, nil)
+				if err != nil {
+					res.err = err
+					return
+				}
+				if code != http.StatusOK {
+					res.err = fmt.Errorf("plan returned HTTP %d", code)
+					return
+				}
+				res.lat = append(res.lat, time.Since(r0))
+				res.plans++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	for _, res := range results {
+		if res.err != nil {
+			return rec, res.err
+		}
+		all = append(all, res.lat...)
+		rec.PlanRequests += res.plans
+		rec.FeedbackPosts += res.posts
+	}
+	if len(all) == 0 {
+		return rec, fmt.Errorf("no plan requests completed in %s", cfg.Duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rec.DurationNs = elapsed.Nanoseconds()
+	rec.ReqPerSec = float64(rec.PlanRequests+rec.FeedbackPosts) / elapsed.Seconds()
+	rec.P50Ns = all[len(all)/2].Nanoseconds()
+	rec.P99Ns = all[len(all)*99/100].Nanoseconds()
+
+	// The server's own metrics close the loop: what the fleet held.
+	resp, err := client.Get(srv.URL + "/api/metrics")
+	if err != nil {
+		return rec, err
+	}
+	defer resp.Body.Close()
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return rec, err
+	}
+	rec.OverlayUsers = m["overlay_users"]
+	rec.OverlayBytes = m["overlay_bytes"]
+	rec.OverlayEvicted = m["overlay_evictions"]
+	rec.Signals = m["feedback_signals"]
+	if rec.OverlayUsers > 0 {
+		rec.BytesPerUser = float64(rec.OverlayBytes) / float64(rec.OverlayUsers)
+	}
+	return rec, nil
+}
+
+// checkUsersBaseline gates a fresh fleet record against the committed
+// one: a >2x p99 regression on the personalized plan path fails, and so
+// does an overlay fleet that outgrew its configured byte budget — the
+// bounded-memory guarantee is part of the contract, not a soft target.
+func checkUsersBaseline(path string, rec usersRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("users baseline: %w", err)
+	}
+	var base usersRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("users baseline %s: %w", path, err)
+	}
+	if base.P99Ns <= 0 {
+		return fmt.Errorf("users baseline %s: no p99 recorded", path)
+	}
+	if rec.P99Ns > 2*base.P99Ns {
+		return fmt.Errorf("users p99 regression: %s now vs %s baseline (>2x)",
+			time.Duration(rec.P99Ns), time.Duration(base.P99Ns))
+	}
+	if rec.BudgetBytes > 0 && rec.OverlayBytes > int64(rec.BudgetBytes) {
+		return fmt.Errorf("overlay fleet outgrew its budget: %d bytes resident vs %d budget",
+			rec.OverlayBytes, rec.BudgetBytes)
+	}
+	return nil
+}
+
+// writeUsersRecord writes rec to dir/BENCH_users.json.
+func writeUsersRecord(dir string, rec usersRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_users.json"), append(data, '\n'), 0o644)
+}

@@ -11,7 +11,8 @@
 //	POST /api/policies/export            train and download a policy artifact
 //	POST /api/policies/import?instance=  upload an artifact for serving
 //	POST /api/policies/{key}/derive      warm-start a policy for another catalog
-//	POST /api/plan                       {"instance": ..., "engine": ..., "episodes": ...}
+//	POST /api/plan                       {"instance": ..., "engine": ..., "user": ...}
+//	POST /api/feedback                   {"instance": ..., "user": ..., "items": [...], "useful": true}
 //	POST /api/rate                       {"instance": ..., "items": [...]}
 //	POST /api/sessions                   open an interactive session
 //	GET  /api/sessions/{id}              session state + suggestions
@@ -33,10 +34,17 @@
 // only a few catalog items changed, shrinking the episode budget by the
 // catalog distance.
 //
+// Serving is personalizable per user: POST /api/feedback folds a user's
+// plan feedback into a bounded copy-on-write overlay over the shared
+// policy, and plan requests carrying that user id read through it. The
+// fleet's total overlay memory is capped by -overlay-budget (LRU user
+// eviction) and each user's overlay by -overlay-cells.
+//
 // Usage:
 //
 //	rlplannerd [-addr :8080] [-policy-cache 128] [-train-timeout 0]
 //	           [-max-training 0] [-train-workers 0] [-auto-derive]
+//	           [-overlay-budget 0] [-overlay-cells 0]
 //	           [-drain-timeout 10s] [-pprof addr]
 package main
 
@@ -66,6 +74,10 @@ func main() {
 		"episode walkers per training run (0 = sequential); results are bit-identical for any worker count")
 	autoDerive := flag.Bool("auto-derive", true,
 		"warm-start cold trainings from the nearest cached policy on catalog near-miss")
+	overlayBudget := flag.Int("overlay-budget", 0,
+		"total bytes for per-user personalization overlays (0 = default 64 MiB); least-recently-active users evict first")
+	overlayCells := flag.Int("overlay-cells", 0,
+		"max personalized action values per user overlay (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"grace period for in-flight requests after SIGTERM/SIGINT")
 	pprofAddr := flag.String("pprof", "",
@@ -101,6 +113,8 @@ func main() {
 		httpapi.WithMaxTraining(*maxTraining),
 		httpapi.WithTrainWorkers(*trainWorkers),
 		httpapi.WithAutoDerive(*autoDerive),
+		httpapi.WithOverlayBudget(*overlayBudget),
+		httpapi.WithOverlayCells(*overlayCells),
 	); err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,21 @@ type FeedbackLoop struct {
 	inst *Instance
 	opts Options
 	loop *feedback.Loop
+	last ReplanStats
+}
+
+// ReplanStats reports what the most recent Replan's retraining run did —
+// the observability that pins Options.TrainWorkers actually reaching the
+// retraining schedule (MergeBatches > 0 iff the parallel protocol ran).
+type ReplanStats struct {
+	// Episodes is the number of learning episodes the retrain completed.
+	Episodes int
+	// MergeBatches counts the parallel schedule's deterministic merge
+	// rounds (0 when the sequential schedule ran).
+	MergeBatches int
+	// TrainWorkers echoes the worker count the retrain was configured
+	// with.
+	TrainWorkers int
 }
 
 // NewFeedbackLoop starts a loop for the instance. rate controls update
@@ -85,6 +100,10 @@ func (l *FeedbackLoop) Weights() (delta, beta, w1, w2 float64) {
 }
 
 // Replan learns a fresh policy under the adapted weights and recommends.
+// The retraining run inherits every option the loop was built with —
+// including Options.TrainWorkers, so fleets that retrain on feedback use
+// the same parallel schedule as their initial training (LastReplan
+// exposes the run's merge-batch count as evidence).
 func (l *FeedbackLoop) Replan(seed int64) (*Plan, error) {
 	cfg := l.loop.Config()
 	opts := l.opts
@@ -98,5 +117,14 @@ func (l *FeedbackLoop) Replan(seed int64) (*Plan, error) {
 	if err := p.Learn(); err != nil {
 		return nil, err
 	}
+	l.last = ReplanStats{
+		Episodes:     p.TrainedEpisodes(),
+		MergeBatches: p.MergeBatches(),
+		TrainWorkers: opts.TrainWorkers,
+	}
 	return p.Plan()
 }
+
+// LastReplan returns statistics for the most recent Replan (zero value
+// before the first one).
+func (l *FeedbackLoop) LastReplan() ReplanStats { return l.last }

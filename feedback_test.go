@@ -135,3 +135,39 @@ func TestPlanFromPublicAPI(t *testing.T) {
 		t.Fatal("unknown start accepted")
 	}
 }
+
+// TestReplanUsesTrainWorkers pins Options.TrainWorkers reaching the
+// feedback loop's retraining runs: with workers configured the parallel
+// schedule's merge protocol must actually execute (MergeBatches > 0),
+// and without workers the sequential Algorithm 1 loop runs (0 batches).
+func TestReplanUsesTrainWorkers(t *testing.T) {
+	inst, _ := InstanceByName("Univ-1 M.S. DS-CT")
+	parallel, err := NewFeedbackLoop(inst, Options{Episodes: 80, Seed: 9, TrainWorkers: 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.LastReplan() != (ReplanStats{}) {
+		t.Fatal("stats before any Replan should be zero")
+	}
+	if _, err := parallel.Replan(7); err != nil {
+		t.Fatal(err)
+	}
+	stats := parallel.LastReplan()
+	if stats.TrainWorkers != 2 || stats.Episodes != 80 {
+		t.Fatalf("parallel replan stats = %+v", stats)
+	}
+	if stats.MergeBatches == 0 {
+		t.Fatal("TrainWorkers=2 replan ran the sequential schedule")
+	}
+
+	sequential, err := NewFeedbackLoop(inst, Options{Episodes: 80, Seed: 9}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sequential.Replan(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := sequential.LastReplan(); got.MergeBatches != 0 || got.TrainWorkers != 0 {
+		t.Fatalf("sequential replan stats = %+v", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/qtable"
 	"github.com/rlplanner/rlplanner/internal/sarsa"
 )
 
@@ -80,6 +81,31 @@ type ValuePolicy interface {
 	// LearningCurve returns per-episode returns (nil for solvers without
 	// an episodic learning loop).
 	LearningCurve() []float64
+}
+
+// LayeredPolicy is implemented by policies whose action values can be
+// read through a qtable.Reader — the hook fleet-scale personalization
+// layers per-user overlays on. Procedural baselines (EDA, OMEGA, gold)
+// carry no action values and do not implement it; serving layers fall
+// back to the plain Recommend for them.
+type LayeredPolicy interface {
+	Policy
+	// BaseReader returns the policy's frozen serve-time read surface (the
+	// compiled action order) — the base a per-user qtable.Overlay wraps.
+	// The returned reader must not be mutated.
+	BaseReader() qtable.Reader
+	// RecommendOver is Recommend reading every action value through r.
+	// Passing nil or BaseReader() itself reproduces Recommend bit for
+	// bit; passing an overlay over BaseReader() serves the personalized
+	// walk with unshadowed states still on the compiled fast path.
+	RecommendOver(start int, r qtable.Reader) ([]int, error)
+}
+
+// Layered returns p as a LayeredPolicy when its action values support
+// overlay reads, or (nil, false) for value-free solvers.
+func Layered(p Policy) (LayeredPolicy, bool) {
+	l, ok := p.(LayeredPolicy)
+	return l, ok
 }
 
 // Converger is implemented by policies that track solver convergence

@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 
+	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/qtable"
 )
 
 // DefaultEnvCacheSize bounds the process-wide environment cache. An
@@ -51,3 +53,32 @@ func newPlanner(ctx context.Context, inst *dataset.Instance, opts core.Options) 
 // EnvCacheStats reports the environment cache's cumulative lookup
 // counters and current size, for the serving metrics endpoint.
 func EnvCacheStats() CacheStats { return envs.Stats() }
+
+// EnvCacheBytes estimates the resident memory of the cached
+// environments. The dominant terms are the n×n distance matrix trip
+// environments precompute and the per-item catalog/prerequisite state;
+// the figure is an operator-facing estimate, not an accounting of every
+// allocation.
+func EnvCacheBytes() int {
+	return envs.SumBytes(func(env *mdp.Env) int {
+		n := env.NumItems()
+		b := n * 512
+		if env.Hard().CreditMode == constraints.MaxCredits {
+			b += n * n * 8
+		}
+		return b
+	})
+}
+
+// PolicyBytes estimates a policy artifact's resident memory: the dense
+// n² Q table plus the compiled prefix for value-based policies, a small
+// constant for the procedural baselines (their plans are recomputed per
+// request from the shared environment).
+func PolicyBytes(p Policy) int {
+	vp, ok := p.(ValuePolicy)
+	if !ok || vp.Values() == nil || vp.Values().Q == nil {
+		return 1 << 10
+	}
+	n := vp.Values().Q.Size()
+	return n*n*8 + n*qtable.DefaultTopK*4
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/mdp"
+	"github.com/rlplanner/rlplanner/internal/qtable"
 	"github.com/rlplanner/rlplanner/internal/sarsa"
 	"github.com/rlplanner/rlplanner/internal/valueiter"
 )
@@ -106,6 +107,19 @@ func (p *valuePolicy) Recommend(start int) ([]int, error) {
 		start = p.start
 	}
 	return p.values.RecommendGuided(p.env, start)
+}
+
+// BaseReader exposes the compiled action order as the overlay base —
+// already built at train/load time, so this never pays a compile.
+func (p *valuePolicy) BaseReader() qtable.Reader { return p.values.Compiled() }
+
+// RecommendOver serves the guided walk reading action values through r
+// (nil falls back to the policy's own compiled order).
+func (p *valuePolicy) RecommendOver(start int, r qtable.Reader) ([]int, error) {
+	if start == DefaultStart {
+		start = p.start
+	}
+	return p.values.RecommendGuidedOver(p.env, start, r)
 }
 
 func (p *valuePolicy) Env() *mdp.Env            { return p.env }

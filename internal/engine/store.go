@@ -184,6 +184,19 @@ func (s *Store[V]) Stats() CacheStats {
 	return CacheStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Size: s.Len()}
 }
 
+// SumBytes folds size over every cached value under the store lock —
+// the resident-memory estimate the metrics endpoint reports. size must
+// be cheap and must not call back into the store.
+func (s *Store[V]) SumBytes(size func(V) int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		total += size(el.Value.(*storeEntry[V]).val)
+	}
+	return total
+}
+
 // Keys returns the cached keys, most recently used first.
 func (s *Store[V]) Keys() []string {
 	s.mu.Lock()

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"github.com/rlplanner/rlplanner/internal/eval"
+	"github.com/rlplanner/rlplanner/internal/qtable"
 	"github.com/rlplanner/rlplanner/internal/reward"
 )
 
@@ -136,6 +137,49 @@ func (l *Loop) Observe(d eval.Detail, sig Signal) reward.Config {
 		}
 	}
 	return l.cfg
+}
+
+// DefaultOverlayRate is the overlay nudge aggressiveness used when
+// ApplyToOverlay's rate is zero — the same default the weight loop uses.
+const DefaultOverlayRate = 0.3
+
+// ApplyToOverlay folds one plan's feedback signal into a per-user Q
+// overlay: every transition (plan[i] → plan[i+1]) the user rated is
+// nudged toward the signal,
+//
+//	Q'(s,e) = Q(s,e) + rate·(v − 0.5)·(1 + |Q(s,e)|)
+//
+// where v = sig.Value() ∈ [0, 1] with 0.5 neutral. The (1 + |Q|) factor
+// scales the push to the value's own magnitude, so a strong signal can
+// reorder actions whose learned values differ, while a neutral signal
+// (v = 0.5) writes nothing at all — the no-op the bit-identical serving
+// guarantee depends on. rate ≤ 0 selects DefaultOverlayRate. It returns
+// the number of transitions written. Transitions with out-of-range
+// indices are skipped rather than panicking: the plan may come from an
+// untrusted API request.
+func ApplyToOverlay(o *qtable.Overlay, plan []int, sig Signal, rate float64) int {
+	if o == nil || len(plan) < 2 {
+		return 0
+	}
+	if rate <= 0 {
+		rate = DefaultOverlayRate
+	}
+	push := rate * (sig.Value() - 0.5)
+	if push == 0 {
+		return 0
+	}
+	n := o.Size()
+	written := 0
+	for i := 0; i+1 < len(plan); i++ {
+		s, e := plan[i], plan[i+1]
+		if s < 0 || s >= n || e < 0 || e >= n {
+			continue
+		}
+		q := o.Get(s, e)
+		o.Set(s, e, q+push*(1+math.Abs(q)))
+		written++
+	}
+	return written
 }
 
 // primaryShare estimates the primary fraction of the rated plan from the

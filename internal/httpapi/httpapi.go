@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/rlplanner/rlplanner"
@@ -64,6 +65,16 @@ type Server struct {
 	// near-miss) instead of training from zeros.
 	autoDerive bool
 	metrics    resilience.Metrics
+
+	// overlays holds the per-(user, policy) personalization overlays —
+	// the serving half of the layered-read design. overlayBudget and
+	// overlayCells configure it before New builds the store.
+	overlays      *overlayStore
+	overlayBudget int
+	overlayCells  int
+	// feedbackSignals counts successfully applied POST /api/feedback
+	// signals for the metrics endpoint.
+	feedbackSignals atomic.Uint64
 
 	// onTrain, when set, observes every actual training run (not cache
 	// hits or singleflight followers). Tests use it to count and to
@@ -134,6 +145,22 @@ func WithTrainWorkers(n int) Option {
 	}
 }
 
+// WithOverlayBudget bounds the total estimated resident bytes of all
+// per-user personalization overlays (DefaultOverlayBudgetBytes when
+// never set or n <= 0). Least-recently-used users are evicted — and
+// revert to base-policy serving — when the fleet exceeds the budget.
+func WithOverlayBudget(n int) Option {
+	return func(s *Server) { s.overlayBudget = n }
+}
+
+// WithOverlayCells caps the shadowed action values each individual
+// user's overlay may hold (qtable.DefaultOverlayCells when never set or
+// n <= 0); past the cap the overlay evicts its own least-recently-used
+// rows.
+func WithOverlayCells(n int) Option {
+	return func(s *Server) { s.overlayCells = n }
+}
+
 // WithAutoDerive toggles warm-start derivation on fingerprint near-miss
 // (default on): when a cold request targets a catalog close to one an
 // existing cached TD policy was trained on, training seeds from that
@@ -156,6 +183,7 @@ func New(opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.overlays = newOverlayStore(s.overlayBudget, s.overlayCells)
 	return s
 }
 
@@ -184,6 +212,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/policies/{id}/derive", s.derivePolicy)
 	mux.HandleFunc("POST /api/plan", s.plan)
 	mux.HandleFunc("POST /api/plan/batch", s.planBatch)
+	mux.HandleFunc("POST /api/feedback", s.feedback)
 	mux.HandleFunc("POST /api/rate", s.rate)
 	mux.HandleFunc("POST /api/explain", s.explain)
 	mux.HandleFunc("POST /api/sessions", s.createSession)
@@ -312,6 +341,13 @@ type planRequest struct {
 	Distance float64 `json:"max_distance_km,omitempty"`
 	// Baseline is the legacy spelling of Engine ("eda", "omega", "gold").
 	Baseline string `json:"baseline,omitempty"`
+	// User identifies the requesting user for personalized serving. A
+	// user who has posted feedback (see /api/feedback) is served through
+	// their copy-on-write overlay; everyone else — and every request
+	// without a user — serves the shared base policy unchanged. User is
+	// deliberately NOT part of the policy cache key: all users share one
+	// trained artifact.
+	User string `json:"user,omitempty"`
 }
 
 func (r planRequest) options() rlplanner.Options {

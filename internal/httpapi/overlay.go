@@ -1,0 +1,261 @@
+// Per-user personalization over the policy store: a bounded LRU of
+// copy-on-write Q overlays keyed by (user, policy), the serving half of
+// the layered-reads architecture (DESIGN §13). The shared policy
+// artifacts stay immutable — feedback writes land only in the caller's
+// overlay, and a request without a user (or whose user has no overlay)
+// serves the base policy bit-identically at the base cost.
+package httpapi
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/rlplanner/rlplanner"
+)
+
+// DefaultOverlayBudgetBytes bounds the total estimated resident memory
+// of all per-user overlays (64 MiB — roughly 10⁵ lightly-personalized
+// users over an institution-scale catalog).
+const DefaultOverlayBudgetBytes = 64 << 20
+
+// overlayStore is the bounded per-user overlay cache. Two levels of
+// bounding compose: each overlay caps its own cells (qtable's LRU row
+// eviction), and the store caps the fleet-wide byte total by evicting
+// whole least-recently-used (user, policy) entries.
+type overlayStore struct {
+	mu       sync.Mutex
+	maxBytes int
+	cells    int // per-overlay cell cap (0 = qtable default)
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	bytes    int
+	users    map[string]int // user id → live entry count
+	evicted  uint64
+}
+
+// overlayEntry is one user's overlay for one policy. Its mutex
+// serializes that user's requests (overlays are single-writer); the
+// store lock is never held across a recommendation walk.
+type overlayEntry struct {
+	key, user string
+	mu        sync.Mutex
+	ov        *rlplanner.Overlay
+	bytes     int // last size accounted into the store total
+}
+
+func newOverlayStore(maxBytes, cells int) *overlayStore {
+	if maxBytes <= 0 {
+		maxBytes = DefaultOverlayBudgetBytes
+	}
+	return &overlayStore{
+		maxBytes: maxBytes,
+		cells:    cells,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		users:    make(map[string]int),
+	}
+}
+
+// overlayKey scopes a user's personalization to one policy artifact:
+// feedback against the sarsa policy must not leak into the qlearning
+// one, and retrained policies (different options key) start clean.
+func overlayKey(user, policyKey string) string { return user + "\x00" + policyKey }
+
+// lookup returns the user's overlay entry for the policy, nil when none
+// exists — the plan path, which must never create overlays (a user who
+// has given no feedback serves the base, allocation-free).
+func (st *overlayStore) lookup(user, policyKey string) *overlayEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[overlayKey(user, policyKey)]
+	if !ok {
+		return nil
+	}
+	st.order.MoveToFront(el)
+	return el.Value.(*overlayEntry)
+}
+
+// getOrCreate returns the user's overlay entry, building one with make
+// on first feedback. make runs under the store lock — it only wraps the
+// already-trained policy's base reader, so it is cheap and cannot
+// recurse into the store.
+func (st *overlayStore) getOrCreate(user, policyKey string, make func(cells int) (*rlplanner.Overlay, error)) (*overlayEntry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	key := overlayKey(user, policyKey)
+	if el, ok := st.entries[key]; ok {
+		st.order.MoveToFront(el)
+		return el.Value.(*overlayEntry), nil
+	}
+	ov, err := make(st.cells)
+	if err != nil {
+		return nil, err
+	}
+	e := &overlayEntry{key: key, user: user, ov: ov}
+	st.entries[key] = st.order.PushFront(e)
+	st.users[user]++
+	return e, nil
+}
+
+// reaccount refreshes the entry's byte charge after a mutation and
+// evicts least-recently-used entries while the store exceeds its byte
+// budget. The just-touched entry is never evicted. Callers must NOT
+// hold e.mu — size is read from the entry's last record, refreshed by
+// the caller via e.bytes while it held the entry lock.
+func (st *overlayStore) reaccount(e *overlayEntry, newBytes int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, live := st.entries[e.key]; live {
+		st.bytes += newBytes - e.bytes
+		e.bytes = newBytes
+	}
+	for st.bytes > st.maxBytes && st.order.Len() > 1 {
+		el := st.order.Back()
+		victim := el.Value.(*overlayEntry)
+		if victim == e {
+			break
+		}
+		st.order.Remove(el)
+		delete(st.entries, victim.key)
+		st.bytes -= victim.bytes
+		st.evicted++
+		if st.users[victim.user]--; st.users[victim.user] <= 0 {
+			delete(st.users, victim.user)
+		}
+	}
+}
+
+// drop removes a specific entry (used when its policy was retrained and
+// the overlay went stale). A no-op if the entry was already evicted or
+// replaced.
+func (st *overlayStore) drop(e *overlayEntry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[e.key]
+	if !ok || el.Value.(*overlayEntry) != e {
+		return
+	}
+	st.order.Remove(el)
+	delete(st.entries, e.key)
+	st.bytes -= e.bytes
+	if st.users[e.user]--; st.users[e.user] <= 0 {
+		delete(st.users, e.user)
+	}
+}
+
+// stats reports (distinct users, entries, estimated bytes, evictions).
+func (st *overlayStore) stats() (users, entries, bytes int, evictions uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.users), st.order.Len(), st.bytes, st.evicted
+}
+
+// feedbackRequest applies one feedback signal from a user to a served
+// plan. The policy fields mirror planRequest so the signal lands on
+// exactly the artifact that served the plan; Items is the plan the user
+// is rating. Exactly one of Useful or Rating must be set.
+type feedbackRequest struct {
+	planRequest
+	Items []string `json:"items"`
+	// Useful is binary useful/not-useful feedback.
+	Useful *bool `json:"useful,omitempty"`
+	// Rating is a categorical 1–5 rating (3 = neutral = no-op).
+	Rating *float64 `json:"rating,omitempty"`
+	// Rate overrides the nudge aggressiveness in (0, 1] (0 = default).
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// feedbackResponse reports what the signal did to the user's overlay.
+type feedbackResponse struct {
+	User string `json:"user"`
+	// Applied is the number of plan transitions adjusted (0 for a
+	// neutral signal).
+	Applied int `json:"applied"`
+	// OverlayCells / OverlayBytes describe the user's overlay after the
+	// update; Evictions counts its row evictions so far.
+	OverlayCells int    `json:"overlay_cells"`
+	OverlayBytes int    `json:"overlay_bytes"`
+	Evictions    uint64 `json:"overlay_evictions"`
+}
+
+// feedback is POST /api/feedback: fold a user's plan feedback into
+// their copy-on-write overlay over the serving policy. The policy is
+// resolved through the same cached/singleflight path as /api/plan, so
+// feedback for a cold policy trains it once and feedback for a warm one
+// touches no training machinery at all.
+func (s *Server) feedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.User == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback requires a user id"))
+		return
+	}
+	if (req.Useful == nil) == (req.Rating == nil) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("set exactly one of useful or rating"))
+		return
+	}
+	if len(req.Items) < 2 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("feedback needs a plan of at least 2 items"))
+		return
+	}
+	inst, err := s.instance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	engineName, err := req.engineName()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pol, err := s.policy(r.Context(), inst, engineName, req.planRequest)
+	if err != nil {
+		s.writePlanError(w, err)
+		return
+	}
+	build := func(cells int) (*rlplanner.Overlay, error) { return pol.NewOverlay(cells) }
+	entry, err := s.overlays.getOrCreate(req.User, req.policyKey(engineName), build)
+	if err == nil && !entry.ov.For(pol) {
+		// The policy under this key was retrained since the overlay was
+		// created; restart the user's personalization on the new artifact.
+		s.overlays.drop(entry)
+		entry, err = s.overlays.getOrCreate(req.User, req.policyKey(engineName), build)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	plan := &rlplanner.Plan{}
+	for _, id := range req.Items {
+		plan.Steps = append(plan.Steps, rlplanner.PlanStep{ID: id})
+	}
+	entry.mu.Lock()
+	var applied int
+	if req.Useful != nil {
+		applied, err = entry.ov.ObserveBinary(plan, *req.Useful, req.Rate)
+	} else {
+		applied, err = entry.ov.ObserveRating(plan, *req.Rating, req.Rate)
+	}
+	resp := feedbackResponse{
+		User:         req.User,
+		Applied:      applied,
+		OverlayCells: entry.ov.Cells(),
+		OverlayBytes: entry.ov.MemoryBytes(),
+		Evictions:    entry.ov.Evictions(),
+	}
+	entry.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.feedbackSignals.Add(1)
+	s.overlays.reaccount(entry, resp.OverlayBytes)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -104,6 +104,9 @@ type planResponse struct {
 	ServedBy       string `json:"served_by"`
 	Degraded       bool   `json:"degraded"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Personalized reports that the plan was read through the requesting
+	// user's feedback overlay rather than the bare base policy.
+	Personalized bool `json:"personalized,omitempty"`
 }
 
 // planWith trains (or fetches) the engine's policy and produces a plan
@@ -124,8 +127,29 @@ func (s *Server) planFrom(ctx context.Context, inst *rlplanner.Instance, engineN
 	if err != nil {
 		return nil, err
 	}
+	// Personalization is lookup-only on the plan path: a user with no
+	// recorded feedback (or no user at all) takes the base branch, which
+	// is byte-for-byte the pre-overlay serving path.
+	var entry *overlayEntry
+	if req.User != "" {
+		if e := s.overlays.lookup(req.User, key); e != nil {
+			if e.ov.For(pol) {
+				entry = e
+			} else {
+				// The policy under this key was evicted and retrained since
+				// the overlay was created; stale personalization is dropped
+				// rather than applied to the wrong artifact.
+				s.overlays.drop(e)
+			}
+		}
+	}
 	plan, err := resilience.Guard("recommend "+engineName, func() (*rlplanner.Plan, error) {
-		return pol.Recommend(startID)
+		if entry == nil {
+			return pol.Recommend(startID)
+		}
+		entry.mu.Lock()
+		defer entry.mu.Unlock()
+		return pol.RecommendWithOverlay(startID, entry.ov)
 	})
 	if err != nil {
 		var pe *resilience.PanicError
@@ -138,7 +162,7 @@ func (s *Server) planFrom(ctx context.Context, inst *rlplanner.Instance, engineN
 		s.breaker.Failure(key)
 		return nil, err
 	}
-	resp := &planResponse{Plan: plan, ServedBy: pol.Engine()}
+	resp := &planResponse{Plan: plan, ServedBy: pol.Engine(), Personalized: entry != nil}
 	if pol.Degraded() == engine.DegradedPartial {
 		resp.Degraded = true
 		resp.DegradedReason = fmt.Sprintf(
@@ -209,5 +233,16 @@ func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
 	m["train_merge_batches"] = ts.MergeBatches
 	m["train_episodes"] = ts.Episodes
 	m["train_episodes_per_sec"] = int64(ts.EpisodesPerSecond())
+	// Resident-memory estimates: what the caches and the personalization
+	// fleet actually hold, the capacity-planning counterpart of the
+	// hit/miss counters.
+	m["policy_cache_bytes"] = int64(s.policies.SumBytes((*rlplanner.Policy).MemoryBytes))
+	m["env_cache_bytes"] = int64(engine.EnvCacheBytes())
+	users, entries, bytes, evictions := s.overlays.stats()
+	m["overlay_users"] = int64(users)
+	m["overlay_entries"] = int64(entries)
+	m["overlay_bytes"] = int64(bytes)
+	m["overlay_evictions"] = int64(evictions)
+	m["feedback_signals"] = int64(s.feedbackSignals.Load())
 	writeJSON(w, http.StatusOK, m)
 }

@@ -125,6 +125,17 @@ func (c *Compiled) fullRow(s int) []int32 {
 // Size returns n, the number of states.
 func (c *Compiled) Size() int { return c.n }
 
+// Get returns Q(s, e) from the source table the order was compiled
+// from — Compiled adds ordering on top of the frozen values, so reads
+// pass straight through and the type satisfies the full Reader surface.
+func (c *Compiled) Get(s, e int) float64 {
+	c.checkState(s)
+	if e < 0 || e >= c.n {
+		panic(fmt.Sprintf("qtable: action %d out of range [0,%d)", e, c.n))
+	}
+	return c.v.Get(s, e)
+}
+
 // K returns the eager prefix length.
 func (c *Compiled) K() int { return c.k }
 

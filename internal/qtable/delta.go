@@ -47,6 +47,13 @@ func (d *Delta) Record(s, e int, target float64) {
 // Len returns the number of recorded operations.
 func (d *Delta) Len() int { return len(d.ops) }
 
+// Each calls fn for every recorded operation in recorded order.
+func (d *Delta) Each(fn func(s, e int, target float64)) {
+	for _, op := range d.ops {
+		fn(int(op.s), int(op.e), op.target)
+	}
+}
+
 // Reset empties the delta, keeping its backing storage for reuse.
 func (d *Delta) Reset() { d.ops = d.ops[:0] }
 
@@ -61,6 +68,13 @@ func (t *Table) Merge(d *Delta, alpha float64) {
 	}
 	for _, op := range d.ops {
 		i := int(op.s)*t.n + int(op.e)
+		if alpha == 1 {
+			// q + 1·(target − q) is target only up to rounding; assign
+			// directly so α=1 replays (overlay densification) are
+			// bit-exact, not merely close.
+			t.q[i] = op.target
+			continue
+		}
 		t.q[i] += alpha * (op.target - t.q[i])
 	}
 }

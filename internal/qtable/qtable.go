@@ -90,40 +90,30 @@ func (t *Table) Update(s, e int, alpha, r, gamma float64, sNext, eNext int) floa
 // index for determinism; callers wanting random tie-breaks use ArgMaxTies.
 // ok is false when no action is allowed.
 func (t *Table) ArgMax(s int, allowed func(e int) bool) (e int, ok bool) {
-	best, found := math.Inf(-1), false
-	e = -1
-	row := t.q[s*t.n : (s+1)*t.n]
-	for a, v := range row {
-		if allowed != nil && !allowed(a) {
-			continue
-		}
-		if !found || v > best {
-			best, e, found = v, a, true
-		}
+	if t.n == 0 {
+		return -1, false
 	}
-	return e, found
+	t.check(s, 0)
+	row := t.rowView(s)
+	return scanArgMax(t.n, func(a int) float64 { return row[a] }, allowed)
 }
 
 // ArgMaxTies returns every action tied for the maximum Q(s, e) among the
 // allowed ones. The result is nil when no action is allowed.
 func (t *Table) ArgMaxTies(s int, allowed func(e int) bool) []int {
-	best, found := math.Inf(-1), false
-	var ties []int
-	row := t.q[s*t.n : (s+1)*t.n]
-	for a, v := range row {
-		if allowed != nil && !allowed(a) {
-			continue
-		}
-		switch {
-		case !found || v > best:
-			best, found = v, true
-			ties = ties[:0]
-			ties = append(ties, a)
-		case v == best:
-			ties = append(ties, a)
-		}
+	return t.AppendArgMaxTies(s, allowed, nil)
+}
+
+// AppendArgMaxTies appends to buf every allowed action tied for the
+// maximal Q(s, ·), in ascending index order, and returns buf — the
+// allocation-free form serving walks reuse a buffer through.
+func (t *Table) AppendArgMaxTies(s int, allowed func(e int) bool, buf []int) []int {
+	if t.n == 0 {
+		return buf
 	}
-	return ties
+	t.check(s, 0)
+	row := t.rowView(s)
+	return scanAppendArgMaxTies(t.n, func(a int) float64 { return row[a] }, allowed, buf)
 }
 
 // Row returns a copy of Q(s, ·).

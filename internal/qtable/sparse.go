@@ -1,8 +1,12 @@
 package qtable
 
 import (
+	"encoding/gob"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"sort"
 )
 
 // Values is the action-value interface shared by the dense Table and the
@@ -110,19 +114,26 @@ func (t *Sparse) ArgMax(s int, allowed func(e int) bool) (int, bool) {
 	if found && best > 0 {
 		return e, true
 	}
-	// Every allowed stored value is ≤ 0 (or nothing is stored): the lowest
-	// allowed index WITHOUT a stored entry reads as 0 and wins. If every
-	// allowed index is stored, the stored maximum stands.
+	// Every allowed stored value is ≤ 0 (or nothing is stored): absent
+	// entries read as 0 and can win, so fall back to the shared full
+	// allowed-scan over the merged view (a nil-map lookup reads 0).
 	row := t.rows[s]
-	for a := 0; a < t.n; a++ {
-		if allowed != nil && !allowed(a) {
-			continue
-		}
-		if _, stored := row[int32(a)]; !stored {
-			return a, true
-		}
+	return scanArgMax(t.n, func(a int) float64 { return row[int32(a)] }, allowed)
+}
+
+// AppendArgMaxTies appends to buf every allowed action tied for the
+// maximal Q(s, ·) in ascending index order — identical ties (values and
+// order) to Table.AppendArgMaxTies on the dense equivalent. It uses the
+// shared allowed-scan directly: tie collection has to visit every
+// allowed action anyway, so the stored-entry shortcut ArgMax uses buys
+// nothing here.
+func (t *Sparse) AppendArgMaxTies(s int, allowed func(e int) bool, buf []int) []int {
+	if t.n == 0 {
+		return buf
 	}
-	return e, found
+	t.check(s, 0)
+	row := t.rows[s]
+	return scanAppendArgMaxTies(t.n, func(a int) float64 { return row[int32(a)] }, allowed, buf)
 }
 
 // Entries returns the number of stored (non-zero) values.
@@ -143,4 +154,79 @@ func (t *Sparse) ToDense() *Table {
 		}
 	}
 	return d
+}
+
+// sparseSnapshot is the serialized sparse form shared by gob and JSON:
+// coordinate triples sorted by (s, e) so identical tables always encode
+// to identical bytes, whatever map iteration order produced them.
+type sparseSnapshot struct {
+	N int       `json:"n"`
+	S []int32   `json:"s"`
+	E []int32   `json:"e"`
+	V []float64 `json:"v"`
+}
+
+func (t *Sparse) snapshot() sparseSnapshot {
+	snap := sparseSnapshot{N: t.n}
+	for s, row := range t.rows {
+		if len(row) == 0 {
+			continue
+		}
+		es := make([]int32, 0, len(row))
+		for e := range row {
+			es = append(es, e)
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+		for _, e := range es {
+			snap.S = append(snap.S, int32(s))
+			snap.E = append(snap.E, e)
+			snap.V = append(snap.V, row[e])
+		}
+	}
+	return snap
+}
+
+func sparseFromSnapshot(snap sparseSnapshot) (*Sparse, error) {
+	if snap.N < 0 || len(snap.S) != len(snap.E) || len(snap.S) != len(snap.V) {
+		return nil, fmt.Errorf("qtable: corrupt sparse snapshot: n=%d, %d/%d/%d coordinates",
+			snap.N, len(snap.S), len(snap.E), len(snap.V))
+	}
+	t := NewSparse(snap.N)
+	for i := range snap.S {
+		s, e := int(snap.S[i]), int(snap.E[i])
+		if s < 0 || s >= snap.N || e < 0 || e >= snap.N {
+			return nil, fmt.Errorf("qtable: corrupt sparse snapshot: entry (%d,%d) out of range [0,%d)", s, e, snap.N)
+		}
+		t.Set(s, e, snap.V[i])
+	}
+	return t, nil
+}
+
+// WriteGob writes the sparse table in gob encoding (coordinate form —
+// size proportional to the stored entries, not n²).
+func (t *Sparse) WriteGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t.snapshot())
+}
+
+// ReadSparseGob reads a table previously written with Sparse.WriteGob.
+func ReadSparseGob(r io.Reader) (*Sparse, error) {
+	var snap sparseSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("qtable: decode sparse gob: %w", err)
+	}
+	return sparseFromSnapshot(snap)
+}
+
+// WriteJSON writes the sparse table as JSON coordinate triples.
+func (t *Sparse) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t.snapshot())
+}
+
+// ReadSparseJSON reads a table previously written with Sparse.WriteJSON.
+func ReadSparseJSON(r io.Reader) (*Sparse, error) {
+	var snap sparseSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("qtable: decode sparse json: %w", err)
+	}
+	return sparseFromSnapshot(snap)
 }

@@ -405,7 +405,7 @@ func cheapestCompletionFits(ep *mdp.Episode, catalog *item.Catalog, hard constra
 // bestRewardThenQ returns, among the allowed actions with strictly
 // positive immediate reward, the maximal-reward ones refined by the
 // highest Q value (lowest index on exact Q ties, for determinism).
-func bestRewardThenQ(ep *mdp.Episode, q *qtable.Table, s int, allowed func(int) bool) (int, bool) {
+func bestRewardThenQ(ep *mdp.Episode, q qtable.Reader, s int, allowed func(int) bool) (int, bool) {
 	const tol = 1e-9
 	bestR := 0.0
 	var ties []int
@@ -467,7 +467,7 @@ func bestByReward(ep *mdp.Episode, cands []int, dst []int) []int {
 // P_hard's target length when the budget or the candidate set runs out —
 // those are the "bad" outcomes the transfer-learning study reports.
 func (p *Policy) Recommend(env *mdp.Env, start int) ([]int, error) {
-	return p.recommend(env, start, false)
+	return p.recommend(env, start, false, nil)
 }
 
 // RecommendGuided is Recommend with a validity filter: among the remaining
@@ -480,12 +480,28 @@ func (p *Policy) Recommend(env *mdp.Env, start int) ([]int, error) {
 // it at recommendation time stays within the paper's framework and yields
 // the constraint-satisfying plans §IV-B reports.
 func (p *Policy) RecommendGuided(env *mdp.Env, start int) ([]int, error) {
-	return p.recommend(env, start, true)
+	return p.recommend(env, start, true, nil)
 }
 
-func (p *Policy) recommend(env *mdp.Env, start int, guided bool) ([]int, error) {
+// RecommendGuidedOver is RecommendGuided reading every action value
+// through r instead of the policy's own compiled table — the layered
+// serving entry point. Passing an overlay whose base is this policy's
+// Compiled() keeps unshadowed states on the compiled walk; passing nil
+// (or the compiled table itself) is exactly RecommendGuided, bit for
+// bit. r must cover the environment's catalog size.
+func (p *Policy) RecommendGuidedOver(env *mdp.Env, start int, r qtable.Reader) ([]int, error) {
+	return p.recommend(env, start, true, r)
+}
+
+func (p *Policy) recommend(env *mdp.Env, start int, guided bool, r qtable.Reader) ([]int, error) {
 	if err := p.compatible(env); err != nil {
 		return nil, err
+	}
+	if r == nil {
+		r = p.Compiled()
+	} else if r.Size() != env.NumItems() {
+		return nil, fmt.Errorf("sarsa: reader over %d items applied to catalog of %d",
+			r.Size(), env.NumItems())
 	}
 	// Serve-time episodes come from the environment's pool: Sequence
 	// copies the result out, so the episode (and its scratch buffers) can
@@ -497,7 +513,7 @@ func (p *Policy) recommend(env *mdp.Env, start int, guided bool) ([]int, error) 
 	defer env.ReleaseEpisode(ep)
 	var sc walkScratch
 	for !ep.Done() {
-		e, ok := p.nextAction(env, ep, guided, nil, &sc)
+		e, ok := p.nextAction(env, ep, guided, nil, &sc, r)
 		if !ok {
 			break
 		}
@@ -534,7 +550,7 @@ func (p *Policy) NextGuided(env *mdp.Env, ep *mdp.Episode, exclude func(int) boo
 		return -1, false
 	}
 	var sc walkScratch
-	return p.nextAction(env, ep, true, exclude, &sc)
+	return p.nextAction(env, ep, true, exclude, &sc, p.Compiled())
 }
 
 // guidedMask builds the split/budget pacing filter of the guided walk for
@@ -593,10 +609,11 @@ func guidedMask(env *mdp.Env, ep *mdp.Episode) func(int) bool {
 	return typeOK
 }
 
-// nextAction picks one action for the episode's current state.
-func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude func(int) bool, sc *walkScratch) (int, bool) {
+// nextAction picks one action for the episode's current state, reading
+// action values through r — the policy's compiled order on the default
+// path, or a per-user overlay layered over it on the personalized one.
+func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude func(int) bool, sc *walkScratch, r qtable.Reader) (int, bool) {
 	s := ep.Last()
-	c := p.Compiled()
 	allowed := func(a int) bool {
 		return ep.CanStep(a) && (exclude == nil || !exclude(a))
 	}
@@ -610,7 +627,7 @@ func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude 
 	// order) to the masked ArgMaxTies scan it replaces, without visiting
 	// all n actions.
 	argmax := func(mask func(int) bool) (int, bool) {
-		sc.ties = c.AppendArgMaxTies(s, mask, sc.ties[:0])
+		sc.ties = r.AppendArgMaxTies(s, mask, sc.ties[:0])
 		ties := sc.ties
 		switch len(ties) {
 		case 0:
@@ -635,7 +652,7 @@ func (p *Policy) nextAction(env *mdp.Env, ep *mdp.Episode, guided bool, exclude 
 		// immediate reward, and uses the learned Q values to pick among
 		// them — Q supplies the lookahead that distinguishes RL-Planner
 		// from the purely myopic EDA baseline.
-		if e, ok := bestRewardThenQ(ep, p.Q, s, func(a int) bool {
+		if e, ok := bestRewardThenQ(ep, r, s, func(a int) bool {
 			return allowed(a) && typeOK(a)
 		}); ok {
 			return e, true

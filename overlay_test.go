@@ -1,0 +1,139 @@
+package rlplanner
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestOverlayEmptyBitIdentical is the no-overlay serving guarantee,
+// property-tested across every built-in instance (both env kinds): a
+// policy serving through an empty overlay — or through no overlay at
+// all — produces exactly the plan it produced before the layered-read
+// refactor, item for item.
+func TestOverlayEmptyBitIdentical(t *testing.T) {
+	for _, inst := range Instances() {
+		inst := inst
+		t.Run(inst.Name(), func(t *testing.T) {
+			pol, err := Train(context.Background(), inst, "sarsa", Options{Episodes: 80, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := pol.Recommend("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ov, err := pol.NewOverlay(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range []*Overlay{nil, ov} {
+				got, err := pol.RecommendWithOverlay("", o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Join(got.IDs(), "|") != strings.Join(want.IDs(), "|") {
+					t.Fatalf("empty-overlay plan differs:\n%v\n%v", got.IDs(), want.IDs())
+				}
+				if got.Score != want.Score {
+					t.Fatalf("empty-overlay score %v != %v", got.Score, want.Score)
+				}
+			}
+		})
+	}
+}
+
+// TestOverlayFeedbackPersonalizes: negative feedback on a served plan
+// steers the personalized walk away from it, while the base policy (and
+// other users) keep serving the original plan.
+func TestOverlayFeedbackPersonalizes(t *testing.T) {
+	inst, _ := InstanceByName("Univ-1 M.S. DS-CT")
+	pol, err := Train(context.Background(), inst, "sarsa", Options{Episodes: 120, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pol.Recommend("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := pol.NewOverlay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong repeated dislike of the served plan.
+	for i := 0; i < 25; i++ {
+		n, err := ov.ObserveBinary(base, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("feedback wrote no transitions")
+		}
+	}
+	if ov.Cells() == 0 || ov.MemoryBytes() <= 0 {
+		t.Fatalf("overlay stats: cells=%d bytes=%d", ov.Cells(), ov.MemoryBytes())
+	}
+	personal, err := pol.RecommendWithOverlay("", ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(personal.IDs(), "|") == strings.Join(base.IDs(), "|") {
+		t.Fatal("strong negative feedback left the plan unchanged")
+	}
+	// Personalized plans still respect the hard constraints.
+	if !personal.SatisfiesConstraints {
+		t.Fatalf("personalized plan violates constraints: %v", personal.Violations)
+	}
+	// The shared base is untouched: a fresh recommendation still matches.
+	again, err := pol.Recommend("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(again.IDs(), "|") != strings.Join(base.IDs(), "|") {
+		t.Fatal("overlay feedback leaked into the shared base policy")
+	}
+	// Neutral feedback writes nothing.
+	before := ov.Cells()
+	if n, err := ov.ObserveRating(base, 3, 0); err != nil || n != 0 {
+		t.Fatalf("neutral rating wrote %d transitions (err %v)", n, err)
+	}
+	if ov.Cells() != before {
+		t.Fatal("neutral rating changed the overlay")
+	}
+	// Reset restores base-identical serving.
+	ov.Reset()
+	reset, err := pol.RecommendWithOverlay("", ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(reset.IDs(), "|") != strings.Join(base.IDs(), "|") {
+		t.Fatal("reset overlay still personalizes")
+	}
+}
+
+func TestOverlayOnProceduralEngineFails(t *testing.T) {
+	inst, _ := InstanceByName("Univ-1 M.S. DS-CT")
+	gold, err := Train(context.Background(), inst, "gold", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gold.NewOverlay(0); err == nil {
+		t.Fatal("overlay over a value-free engine accepted")
+	}
+	// Cross-policy overlays are rejected.
+	sarsa1, err := Train(context.Background(), inst, "sarsa", Options{Episodes: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sarsa2, err := Train(context.Background(), inst, "sarsa", Options{Episodes: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := sarsa1.NewOverlay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sarsa2.RecommendWithOverlay("", ov); err == nil {
+		t.Fatal("overlay from another policy accepted")
+	}
+}

@@ -116,6 +116,12 @@ func (p *Policy) MatchDistance(inst *Instance) (float64, error) {
 	return transfer.Match(vp.Env().Catalog(), inst.inner.Catalog).Distance(), nil
 }
 
+// MemoryBytes estimates the policy artifact's resident memory (the Q
+// table and compiled action order for value-based engines, a small
+// constant for the procedural baselines) — the figure the serving
+// metrics aggregate per cache.
+func (p *Policy) MemoryBytes() int { return engine.PolicyBytes(p.p) }
+
 // Fingerprint identifies the catalog the policy was trained on; loading
 // an artifact against an instance with a different fingerprint fails.
 func (p *Policy) Fingerprint() string { return p.p.Fingerprint() }

@@ -273,6 +273,16 @@ func (p *Planner) Learn() error { return p.p.Learn() }
 // LearningCurve returns the reward collected per learning episode.
 func (p *Planner) LearningCurve() []float64 { return p.p.LearningCurve() }
 
+// TrainedEpisodes returns how many learning episodes the last Learn
+// completed (0 before Learn).
+func (p *Planner) TrainedEpisodes() int { return p.p.TrainedEpisodes() }
+
+// MergeBatches returns how many deterministic merge rounds the parallel
+// training schedule ran during the last Learn — 0 under the sequential
+// schedule (Options.TrainWorkers == 0), > 0 whenever the parallel
+// protocol actually executed.
+func (p *Planner) MergeBatches() int { return p.p.MergeBatches() }
+
 // Plan recommends a plan from the configured start item.
 func (p *Planner) Plan() (*Plan, error) {
 	seq, err := p.p.Plan()
