@@ -3,7 +3,7 @@ GO ?= go
 # Packages exercising the worker pool, the scratch-buffer hot path and
 # the singleflight serving path — the ones worth a race pass on every
 # change.
-RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/... ./internal/qtable/... ./internal/feedback/...
+RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/... ./internal/qtable/... ./internal/feedback/... ./internal/bitset/... ./internal/geo/...
 
 # Packages holding the resilience layer and its fault-injection matrix:
 # the scriptable fault engine driven through the live HTTP stack
@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... .
 # plus the daemon's signal-drain tests.
 FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-.PHONY: check vet build test race faults bench-hot bench-json servebench trainbench userbench
+.PHONY: check vet build test race faults bench-hot bench-json servebench trainbench userbench scalebench
 
 check: vet build test race faults
 
@@ -61,3 +61,11 @@ trainbench:
 # so does an overlay fleet that outgrows its byte budget (DESIGN §13).
 userbench:
 	$(GO) run ./cmd/benchharness -users 100000 -users-baseline results/BENCH_users.json -benchjson /tmp/rlplanner-userbench
+
+# Catalog-scale bench at the 16k-item point (above every dense
+# threshold, fast enough for CI), gated against the committed record: a
+# >1.5x resident-bytes growth of the compressed data plane (sparse Q +
+# distance store + topic bitsets) fails (DESIGN §14). Same move-the-
+# baseline-on-purpose discipline as servebench.
+scalebench:
+	$(GO) run ./cmd/benchharness -scale -scale-sizes 16384 -scale-baseline results/BENCH_scale.json -benchjson /tmp/rlplanner-scalebench

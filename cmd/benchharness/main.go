@@ -10,6 +10,8 @@
 //	             [-serve-duration 3s] [-serve-batch 64] [-serve-baseline file]
 //	             [-train] [-train-instance name] [-train-perturb 5]
 //	             [-train-runs 3] [-train-baseline file]
+//	             [-scale] [-scale-sizes 4096,16384,50000,100000]
+//	             [-scale-baseline file]
 //	             [-users 0] [-users-duration 5s] [-users-feedback 0.3]
 //	             [-users-budget 0] [-users-cells 0] [-users-baseline file]
 //
@@ -30,6 +32,17 @@
 // it against the cold time. With -benchjson it writes BENCH_train.json;
 // with -train-baseline it fails on a >2x cold-train wall-clock
 // regression against a committed record.
+//
+// -scale switches the harness into catalog-scale mode: for each size in
+// -scale-sizes it generates a synthetic geo instance, builds the tiered
+// environment, trains SARSA with a size-scaled episode budget, measures
+// the per-candidate data-plane step cost, then serves the trained
+// artifact end-to-end through an in-process HTTP stack (spec upload →
+// artifact import → /api/plan). It records items vs ns/step vs resident
+// bytes (Q + distance store + topic bitsets, next to the dense-layout
+// equivalent) vs train time. With -benchjson it writes BENCH_scale.json;
+// with -scale-baseline it fails when resident bytes at any matching size
+// grew past 1.5x the committed record.
 //
 // -users N switches the harness into fleet-personalization mode: it
 // mounts the HTTP stack with a bounded per-user overlay budget and
@@ -57,6 +70,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -94,6 +108,10 @@ func main() {
 		trainPerturb  = flag.Int("train-perturb", 5, "catalog items renamed for the warm-start phase of -train")
 		trainRuns     = flag.Int("train-runs", 3, "timed repetitions per -train configuration (best-of)")
 		trainBaseline = flag.String("train-baseline", "", "committed BENCH_train.json to gate against (>2x cold-train regression fails)")
+
+		scale         = flag.Bool("scale", false, "catalog-scale mode: generate, train and serve synthetic instances at -scale-sizes, record memory and latency, then exit")
+		scaleSizes    = flag.String("scale-sizes", "4096,16384,50000,100000", "comma-separated catalog sizes for -scale")
+		scaleBaseline = flag.String("scale-baseline", "", "committed BENCH_scale.json to gate against (>1.5x resident-bytes growth at any matching size fails)")
 
 		users         = flag.Int("users", 0, "fleet-personalization mode: zipf user population size (0 = off)")
 		usersDuration = flag.Duration("users-duration", 5*time.Second, "timed phase length for -users")
@@ -144,6 +162,36 @@ func main() {
 		}
 		if *serveBaseline != "" {
 			if err := checkServeBaseline(*serveBaseline, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *scale {
+		var sizes []int
+		for _, s := range strings.Split(*scaleSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 16 {
+				fmt.Fprintf(os.Stderr, "scale: bad size %q in -scale-sizes\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, n)
+		}
+		rec, err := scaleBench(scaleConfig{Sizes: sizes, Episodes: *episodes, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+			os.Exit(1)
+		}
+		if *benchjson != "" {
+			if err := writeScaleRecord(*benchjson, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *scaleBaseline != "" {
+			if err := checkScaleBaseline(*scaleBaseline, rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

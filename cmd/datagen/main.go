@@ -37,6 +37,7 @@ func main() {
 		synthN    = flag.Int("synth", 0, "also generate a synthetic instance with this many items")
 		synthSeed = flag.Int64("synth-seed", 1, "synthetic generator seed")
 		synthPre  = flag.Float64("synth-prereq-density", 0.25, "fraction of synthetic items with prerequisites")
+		synthGeo  = flag.Bool("synth-geo", false, "give synthetic items clustered lat/lon and a distance constraint")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 			Name:          fmt.Sprintf("synthetic-%d", *synthN),
 			Items:         *synthN,
 			PrereqDensity: *synthPre,
+			Geo:           *synthGeo,
 			Seed:          *synthSeed,
 		})
 		check(err)

@@ -25,6 +25,10 @@ type GenParams struct {
 	Primary, Secondary int
 	// Gap is the antecedent gap (default 3).
 	Gap int
+	// Geo scatters items over a clustered city-scale map and enables the
+	// distance constraint, so generated instances exercise the distance
+	// store at any catalog size.
+	Geo bool
 	// Seed makes generation reproducible.
 	Seed int64
 }
@@ -43,6 +47,7 @@ func GenerateInstance(p GenParams) (*Instance, error) {
 		Primary:       p.Primary,
 		Secondary:     p.Secondary,
 		Gap:           p.Gap,
+		Geo:           p.Geo,
 		Seed:          p.Seed,
 	})
 	if err != nil {

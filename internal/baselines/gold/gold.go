@@ -26,13 +26,14 @@ import (
 // hanging; real instances need far fewer nodes.
 const maxNodes = 200000
 
-// distCache serves leg distances from the same precomputed float32 matrix
-// the learner's environment uses (geo.DistMatrix), so the gold synthesizer
-// and the MDP measure identical geometry. Above the size guard it falls
-// back to on-the-fly Haversine.
+// distCache serves leg distances from the same tiered distance store
+// the learner's environment uses (geo.NewDistStore), so the gold
+// synthesizer and the MDP measure identical geometry at every catalog
+// size — the old form silently switched representation at the matrix
+// cap without any signal; now the shared store reports its out-of-band
+// recomputations through geo.FallbackTotal (dist_fallback_total).
 type distCache struct {
-	m   *geo.DistMatrix
-	pts []geo.Point
+	store geo.Store
 }
 
 // newDistCache builds the cache for a catalog; active is the instance's
@@ -46,15 +47,12 @@ func newDistCache(c *item.Catalog, active bool) distCache {
 		m := c.At(i)
 		pts[i] = geo.Point{Lat: m.Lat, Lon: m.Lon}
 	}
-	return distCache{m: geo.NewDistMatrixCapped(pts, geo.DefaultDistMatrixMaxItems), pts: pts}
+	return distCache{store: geo.NewDistStore(pts, 0)}
 }
 
 // leg returns the distance between items i and j in kilometers.
 func (d distCache) leg(i, j int) float64 {
-	if d.m != nil {
-		return d.m.Dist(i, j)
-	}
-	return geo.Haversine(d.pts[i], d.pts[j])
+	return d.store.Dist(i, j)
 }
 
 // Plan synthesizes a gold-standard plan for the instance. For instances

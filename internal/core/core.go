@@ -76,6 +76,17 @@ type Options struct {
 	// every worker count. Not part of the environment key — a worker
 	// count never changes what is learned under the parallel protocol.
 	TrainWorkers int
+	// DistMatrixMax overrides the catalog size up to which the
+	// environment precomputes the exact n×n distance matrix (<= 0 means
+	// geo.DefaultDistMatrixMaxItems) — the -dist-matrix-max operator
+	// knob. Larger trip catalogs get exact per-call Haversine, then the
+	// quantized neighbor store (see geo.NewDistStore). Part of the
+	// environment key: different limits build different geometry.
+	DistMatrixMax int
+	// DenseQMax overrides the catalog size up to which the learned Q
+	// table uses the dense n² representation (<= 0 means
+	// qtable.DefaultDenseMaxItems) — the -dense-q-max operator knob.
+	DenseQMax int
 	// InitQ warm-starts learning from an existing Q table
 	// (sarsa.Config.Init): the incremental-retraining path feeds a
 	// transfer-mapped table from the nearest artifact here. The table is
@@ -169,7 +180,8 @@ func BuildEnv(inst *dataset.Instance, opts Options) (*mdp.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mdp.NewEnv(inst.Catalog, hard, inst.Soft, rc, budgetFor(inst, hard))
+	return mdp.NewEnvWithLimits(inst.Catalog, hard, inst.Soft, rc, budgetFor(inst, hard),
+		mdp.Limits{DistMatrixMax: opts.DistMatrixMax})
 }
 
 // EnvKey returns a canonical key identifying the environment that
@@ -182,7 +194,10 @@ func EnvKey(inst *dataset.Instance, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("%d|%+v|%+v", inst.Kind, hard, rc), nil
+	// DistMatrixMax is part of the key: the limit selects the distance
+	// representation, so environments built under different limits must
+	// not be shared.
+	return fmt.Sprintf("%d|%+v|%+v|dm%d", inst.Kind, hard, rc, opts.DistMatrixMax), nil
 }
 
 // NewWithEnv is New with a prebuilt environment — typically one shared
@@ -223,6 +238,7 @@ func NewWithEnv(inst *dataset.Instance, opts Options, env *mdp.Env) (*Planner, e
 		DisableExplore: opts.DisableExplore,
 		Seed:           opts.Seed,
 		Workers:        opts.TrainWorkers,
+		DenseQMax:      opts.DenseQMax,
 		Init:           opts.InitQ,
 		OnEpisode:      opts.OnEpisode,
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/rlplanner/rlplanner/internal/core"
@@ -298,5 +299,60 @@ func TestConvergenceSARSAVsQLearning(t *testing.T) {
 	// Q-learning.
 	if q != -1 && s > 2*q+50 {
 		t.Fatalf("SARSA settled at %d, far beyond Q-learning's %d", s, q)
+	}
+}
+
+// TestSparsePlansBitIdentical pins the data plane's representation
+// boundary: forcing the sparse Q representation on a small catalog
+// (DenseQMax 1) must reproduce the dense path's plans bit for bit —
+// same training schedule, same recommendation walks, only the storage
+// layout differs. This is the property that lets qtable.New switch
+// representations by size without a behavioural cliff.
+func TestSparsePlansBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		inst *dataset.Instance
+	}{
+		{"univ1dsct", univ.Univ1DSCT()},
+		{"tripNYC", trip.NYC().Instance},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := core.Options{Episodes: 150, Seed: 7}
+			dense, err := core.New(tc.inst, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dense.Learn(); err != nil {
+				t.Fatal(err)
+			}
+			if !dense.Policy().Q.IsDense() {
+				t.Fatal("default options did not produce a dense Q on a small catalog")
+			}
+
+			sopts := opts
+			sopts.DenseQMax = 1
+			sparse, err := core.New(tc.inst, sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sparse.Learn(); err != nil {
+				t.Fatal(err)
+			}
+			if sparse.Policy().Q.IsDense() {
+				t.Fatal("DenseQMax=1 did not force the sparse representation")
+			}
+
+			n := tc.inst.Catalog.Len()
+			for start := 0; start < n; start += 7 {
+				dp, derr := dense.PlanFrom(start)
+				sp, serr := sparse.PlanFrom(start)
+				if (derr == nil) != (serr == nil) {
+					t.Fatalf("start %d: dense err %v, sparse err %v", start, derr, serr)
+				}
+				if !reflect.DeepEqual(dp, sp) {
+					t.Fatalf("start %d: dense plan %v != sparse plan %v", start, dp, sp)
+				}
+			}
+		})
 	}
 }

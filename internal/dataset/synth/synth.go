@@ -45,6 +45,15 @@ type Params struct {
 	Gap int
 	// CreditsPerItem is cr^m for every item (default 3).
 	CreditsPerItem float64
+	// Geo scatters the items over a clustered city-scale map (lat/lon)
+	// and enables the distance constraint, so generated instances
+	// exercise the environment's distance store. Off by default.
+	Geo bool
+	// MaxDistanceKm is the hard distance budget when Geo is set
+	// (default 1e6 km — effectively unbounded, so feasibility matches
+	// the non-geo instance while every candidate still pays a distance
+	// lookup).
+	MaxDistanceKm float64
 	// Seed drives generation; equal Params generate equal instances.
 	Seed int64
 }
@@ -82,6 +91,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.CreditsPerItem == 0 {
 		p.CreditsPerItem = 3
+	}
+	if p.Geo && p.MaxDistanceKm == 0 {
+		p.MaxDistanceKm = 1e6
 	}
 	return p
 }
@@ -155,13 +167,20 @@ func Generate(params Params) (*dataset.Instance, error) {
 		}
 
 		items[i] = item.Item{
-			ID:       id(i),
-			Name:     fmt.Sprintf("Synthetic Item %d", i),
-			Type:     ty,
-			Credits:  p.CreditsPerItem,
-			Prereq:   pre,
-			Topics:   vec,
+			ID:      id(i),
+			Name:    fmt.Sprintf("Synthetic Item %d", i),
+			Type:    ty,
+			Credits: p.CreditsPerItem,
+			Prereq:  pre,
+			// Compact here, not just in NewCatalog: at catalog scale the
+			// dense draw vectors would otherwise all be live at once
+			// (items × vocabulary/8 bytes) until the catalog is built.
+			Topics:   vec.Compact(),
 			Category: item.NoCategory,
+		}
+		if p.Geo {
+			lat, lon := geoPoint(rng, i)
+			items[i].Lat, items[i].Lon = lat, lon
 		}
 	}
 	catalog, err := item.NewCatalog(vocab, items)
@@ -176,8 +195,20 @@ func Generate(params Params) (*dataset.Instance, error) {
 		Secondary:  p.Secondary,
 		Gap:        p.Gap,
 	}
+	if p.Geo {
+		hard.MaxDistanceKm = p.MaxDistanceKm
+	}
+	// T_ideal is the hot end of the vocabulary, capped at 256 topics: the
+	// skewed draws concentrate there, and a bounded ideal set keeps the ε
+	// coverage gate (gain/|T_ideal| ≥ ε) meaningful at every vocabulary
+	// size — an ideal set that grew with the vocabulary would push every
+	// per-item gain below ε and zero out all rewards at catalog scale.
+	idealN := p.Topics
+	if idealN > 256 {
+		idealN = 256
+	}
 	ideal := bitset.New(p.Topics)
-	for i := 0; i < p.Topics; i++ {
+	for i := 0; i < idealN; i++ {
 		ideal.Set(i)
 	}
 	inst := &dataset.Instance{
@@ -210,6 +241,18 @@ func MustGenerate(params Params) *dataset.Instance {
 
 // id names the i-th synthetic item.
 func id(i int) string { return fmt.Sprintf("S-%03d", i) }
+
+// geoPoint places the i-th item on a clustered city-scale map: eight
+// gaussian neighborhoods inside a ~0.5°×0.5° box around a fixed center,
+// so nearest-neighbor structure exists for the distance store's bands
+// to capture.
+func geoPoint(rng *rand.Rand, i int) (lat, lon float64) {
+	const centerLat, centerLon = 40.75, -73.98
+	cluster := i % 8
+	clat := centerLat + 0.25*math.Sin(float64(cluster))
+	clon := centerLon + 0.25*math.Cos(float64(cluster)*2.3)
+	return clat + rng.NormFloat64()*0.02, clon + rng.NormFloat64()*0.02
+}
 
 // skewed samples an index in [0, n) with density ∝ rank^-1/(skew-ish):
 // skew 1 is uniform, larger skews concentrate on low indices.

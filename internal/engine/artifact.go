@@ -20,8 +20,12 @@ const (
 	// accept any version up to this one; newer versions are refused with
 	// an explicit error instead of a misdecode. v2 added the training
 	// provenance fields (Episodes, Degraded, WarmFrom, WarmDistance);
-	// gob leaves them zero when decoding a v1 stream.
-	ArtifactVersion = 2
+	// v3 added the sparse coordinate payload (QS/QE/QV) for policies
+	// whose tables exceed the dense threshold. Gob leaves absent fields
+	// zero when decoding an older stream, and dense v3 artifacts are
+	// byte-compatible with v2 readers' expectations for every catalog a
+	// v2 writer could produce.
+	ArtifactVersion = 3
 )
 
 // artifact is the on-disk form of a Policy: a header identifying the
@@ -36,8 +40,14 @@ type artifact struct {
 	Fingerprint string
 	Items       int
 	Seed        int64
-	Q           []float64
-	IDs         []string
+	// Q is the flattened dense table; QS/QE/QV are the sorted visited-cell
+	// coordinates of a sparse-backed one. Tabular artifacts carry exactly
+	// one of the two payloads.
+	Q   []float64
+	QS  []int32
+	QE  []int32
+	QV  []float64
+	IDs []string
 	// Episodes records how many learning episodes completed — for a
 	// partial checkpoint, how far training got before its deadline.
 	Episodes int
@@ -68,9 +78,20 @@ func artifactFor(m meta, values *sarsa.Policy, seed int64) artifact {
 		n := values.Q.Size()
 		a.Items = n
 		a.IDs = values.IDs
-		a.Q = make([]float64, 0, n*n)
-		for s := 0; s < n; s++ {
-			a.Q = append(a.Q, values.Q.Row(s)...)
+		if values.Q.IsDense() {
+			a.Q = make([]float64, 0, n*n)
+			for s := 0; s < n; s++ {
+				a.Q = append(a.Q, values.Q.Row(s)...)
+			}
+		} else {
+			// Sparse payload: artifact size follows the visited cells, so a
+			// 100k-item policy saves in megabytes instead of an 80 GB flat
+			// table that could never be materialized to begin with.
+			values.Q.EachStored(func(s, e int, v float64) {
+				a.QS = append(a.QS, int32(s))
+				a.QE = append(a.QE, int32(e))
+				a.QV = append(a.QV, v)
+			})
 		}
 	}
 	return a
@@ -101,15 +122,32 @@ func decodeArtifact(r io.Reader, inst *dataset.Instance) (artifact, error) {
 	return a, nil
 }
 
-// restoreValues rebuilds the Q-table policy of a tabular artifact.
+// restoreValues rebuilds the Q-table policy of a tabular artifact,
+// restoring the representation it was saved from.
 func restoreValues(a artifact, inst *dataset.Instance) (*sarsa.Policy, error) {
-	if a.Items <= 0 || len(a.Q) != a.Items*a.Items {
-		return nil, fmt.Errorf("engine: corrupt %s artifact (n=%d, %d values)", a.Engine, a.Items, len(a.Q))
-	}
 	if a.Items != inst.Catalog.Len() {
 		return nil, fmt.Errorf("engine: policy covers %d items, instance %q has %d", a.Items, inst.Name, inst.Catalog.Len())
 	}
-	q := qtable.New(a.Items)
+	if len(a.QS)+len(a.QE)+len(a.QV) > 0 {
+		if a.Items <= 0 || len(a.Q) != 0 || len(a.QS) != len(a.QE) || len(a.QS) != len(a.QV) {
+			return nil, fmt.Errorf("engine: corrupt %s artifact (n=%d, %d/%d/%d coordinates)",
+				a.Engine, a.Items, len(a.QS), len(a.QE), len(a.QV))
+		}
+		q := qtable.NewWithDenseMax(a.Items, 1) // keep the trained sparse form
+		for i := range a.QS {
+			s, e := int(a.QS[i]), int(a.QE[i])
+			if s < 0 || s >= a.Items || e < 0 || e >= a.Items {
+				return nil, fmt.Errorf("engine: corrupt %s artifact: cell (%d,%d) out of range [0,%d)",
+					a.Engine, s, e, a.Items)
+			}
+			q.Set(s, e, a.QV[i])
+		}
+		return &sarsa.Policy{Q: q, IDs: a.IDs}, nil
+	}
+	if a.Items <= 0 || len(a.Q) != a.Items*a.Items {
+		return nil, fmt.Errorf("engine: corrupt %s artifact (n=%d, %d values)", a.Engine, a.Items, len(a.Q))
+	}
+	q := qtable.NewWithDenseMax(a.Items, a.Items) // keep the saved dense form
 	for s := 0; s < a.Items; s++ {
 		for e := 0; e < a.Items; e++ {
 			q.Set(s, e, a.Q[s*a.Items+e])

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 
-	"github.com/rlplanner/rlplanner/internal/constraints"
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/mdp"
@@ -55,30 +54,32 @@ func newPlanner(ctx context.Context, inst *dataset.Instance, opts core.Options) 
 func EnvCacheStats() CacheStats { return envs.Stats() }
 
 // EnvCacheBytes estimates the resident memory of the cached
-// environments. The dominant terms are the n×n distance matrix trip
-// environments precompute and the per-item catalog/prerequisite state;
-// the figure is an operator-facing estimate, not an accounting of every
-// allocation.
+// environments. The dominant terms are the distance store trip
+// environments precompute (exact matrix, or quantized neighbor bands at
+// scale — the store reports its own size) and the per-item
+// catalog/prerequisite state; the figure is an operator-facing
+// estimate, not an accounting of every allocation.
 func EnvCacheBytes() int {
 	return envs.SumBytes(func(env *mdp.Env) int {
-		n := env.NumItems()
-		b := n * 512
-		if env.Hard().CreditMode == constraints.MaxCredits {
-			b += n * n * 8
-		}
-		return b
+		return env.NumItems()*512 + env.DistStoreBytes()
 	})
 }
 
-// PolicyBytes estimates a policy artifact's resident memory: the dense
-// n² Q table plus the compiled prefix for value-based policies, a small
-// constant for the procedural baselines (their plans are recomputed per
-// request from the shared environment).
+// PolicyBytes estimates a policy artifact's resident memory: the Q
+// table's own backing (8n² dense, visited-cells-proportional sparse)
+// plus the compiled prefix for value-based policies, a small constant
+// for the procedural baselines (their plans are recomputed per request
+// from the shared environment).
 func PolicyBytes(p Policy) int {
 	vp, ok := p.(ValuePolicy)
 	if !ok || vp.Values() == nil || vp.Values().Q == nil {
 		return 1 << 10
 	}
-	n := vp.Values().Q.Size()
-	return n*n*8 + n*qtable.DefaultTopK*4
+	q := vp.Values().Q
+	if q.IsDense() {
+		return q.MemoryBytes() + q.Size()*qtable.DefaultTopK*4
+	}
+	// Sparse-backed: the tiered reader costs ~12 bytes per stored cell on
+	// top of the table itself.
+	return q.MemoryBytes() + 12*q.Stored()
 }

@@ -64,6 +64,13 @@ type Server struct {
 	// from the nearest cached policy of a different catalog (fingerprint
 	// near-miss) instead of training from zeros.
 	autoDerive bool
+	// distMatrixMax and denseQMax are the data-plane size guards
+	// (-dist-matrix-max / -dense-q-max): the catalog sizes up to which an
+	// exact distance matrix and a dense Q table are precomputed. Zero
+	// keeps the library defaults (1024 and 4096). Deployment memory
+	// knobs, applied to every training run, not part of any cache key.
+	distMatrixMax int
+	denseQMax     int
 	metrics    resilience.Metrics
 
 	// overlays holds the per-(user, policy) personalization overlays —
@@ -159,6 +166,33 @@ func WithOverlayBudget(n int) Option {
 // rows.
 func WithOverlayCells(n int) Option {
 	return func(s *Server) { s.overlayCells = n }
+}
+
+// WithDistMatrixMax bounds the catalog size that precomputes an exact
+// n×n distance matrix (n <= 0 keeps geo.DefaultDistMatrixMaxItems,
+// 1024). Larger trip catalogs serve exact per-call Haversine up to 4096
+// items and a quantized neighbor store beyond; out-of-band lookups are
+// counted by the dist_fallback_total metric.
+func WithDistMatrixMax(n int) Option {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.distMatrixMax = n
+	}
+}
+
+// WithDenseQMax bounds the catalog size that trains into a dense n×n Q
+// table (n <= 0 keeps qtable.DefaultDenseMaxItems, 4096). Larger
+// catalogs learn into a sparse table whose memory follows the visited
+// state-action set instead of the catalog squared.
+func WithDenseQMax(n int) Option {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.denseQMax = n
+	}
 }
 
 // WithAutoDerive toggles warm-start derivation on fingerprint near-miss
@@ -529,7 +563,9 @@ func (s *Server) importPolicy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	pol, err := rlplanner.LoadPolicyArtifact(r.Body, inst, rlplanner.Options{})
+	// Imports honor the deployment's data-plane size guards so the
+	// rebuilt environment shares the cache entry trained policies use.
+	pol, err := rlplanner.LoadPolicyArtifact(r.Body, inst, s.trainOpts(planRequest{Instance: name}))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -16,6 +16,7 @@ import (
 
 	"github.com/rlplanner/rlplanner"
 	"github.com/rlplanner/rlplanner/internal/engine"
+	"github.com/rlplanner/rlplanner/internal/geo"
 	"github.com/rlplanner/rlplanner/internal/resilience"
 )
 
@@ -244,5 +245,10 @@ func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
 	m["overlay_bytes"] = int64(bytes)
 	m["overlay_evictions"] = int64(evictions)
 	m["feedback_signals"] = int64(s.feedbackSignals.Load())
+	// Distance-accuracy observability: how many leg lookups missed the
+	// compressed neighbor band and recomputed an exact Haversine. A
+	// rapidly growing figure means the band (geo.DefaultNeighborK) is too
+	// narrow for this catalog's plan geometry.
+	m["dist_fallback_total"] = int64(geo.FallbackTotal())
 	writeJSON(w, http.StatusOK, m)
 }

@@ -109,6 +109,11 @@ func NewCatalog(vocab *topics.Vocabulary, items []Item) (*Catalog, error) {
 			return nil, fmt.Errorf("item %q: negative credits %v", m.ID, m.Credits)
 		}
 		c.byID[m.ID] = i
+		// Topic vectors are read-only once the catalog is built, so store
+		// each in its density-optimal representation: at catalog scale an
+		// item covers a handful of a 100k-topic vocabulary, and the dense
+		// vector (vocab/8 bytes per item) would dominate resident memory.
+		c.items[i].Topics = m.Topics.Compact()
 	}
 	// Prerequisite references must resolve within the catalog.
 	for _, m := range c.items {

@@ -68,11 +68,18 @@ func (b TimeBudget) Allows(credits float64, count int, itemCredits float64) bool
 	return !b.Done(credits, count) && credits+itemCredits <= b.Hours
 }
 
-// DistMatrixMaxItems is the size guard for the environment's precomputed
-// distance matrix: catalogs larger than this fall back to on-the-fly
-// Haversine instead of allocating a quadratic float32 table (see
-// geo.NewDistMatrixCapped for the memory arithmetic).
-var DistMatrixMaxItems = geo.DefaultDistMatrixMaxItems
+// Limits carries the operator-configurable size guards of the data
+// plane. The zero value means defaults; NewEnv uses it. (These replace
+// the old mutable package variable DistMatrixMaxItems, so concurrent
+// engines with different limits no longer race on a global.)
+type Limits struct {
+	// DistMatrixMax is the catalog size up to which the environment
+	// precomputes the exact n×n distance matrix (<= 0 means
+	// geo.DefaultDistMatrixMaxItems). Larger trip catalogs get exact
+	// per-call Haversine up to geo.DefaultExactHaversineMaxItems and the
+	// quantized neighbor store beyond (see geo.NewDistStore).
+	DistMatrixMax int
+}
 
 // itemFacts is the flat, Env-static per-item record the per-candidate hot
 // path reads instead of copying whole item.Item values (whose strings and
@@ -112,10 +119,17 @@ type Env struct {
 	// with the catalog.
 	facts []itemFacts
 	// pts holds every item's coordinates for the Haversine fallback when
-	// distMat is nil (catalog above the size guard).
+	// dist is nil (no distance constraint active).
 	pts []geo.Point
-	// distMat is the precomputed pairwise distance table, non-nil only when
-	// hard.MaxDistanceKm > 0 and the catalog is within DistMatrixMaxItems.
+	// dist is the pairwise distance store, non-nil only when
+	// hard.MaxDistanceKm > 0: the exact matrix for small catalogs, exact
+	// per-call Haversine mid-range, quantized neighbor bands at scale
+	// (geo.NewDistStore selects by size and Limits.DistMatrixMax).
+	dist geo.Store
+	// distMat aliases dist when the store is the exact matrix, so the
+	// per-candidate leg lookup in CanStep is a direct, inlinable call
+	// instead of interface dispatch — the matrix tier is exactly the
+	// catalog range where that lookup dominates the step profile.
 	distMat *geo.DistMatrix
 	// prereqs are the compiled prerequisite programs + reverse dependencies.
 	prereqs *prereq.Compiled
@@ -133,9 +147,17 @@ type Env struct {
 	epPool sync.Pool
 }
 
-// NewEnv validates the pieces and builds an environment.
+// NewEnv validates the pieces and builds an environment with default
+// Limits.
 func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
 	rw reward.Config, budget Budget) (*Env, error) {
+	return NewEnvWithLimits(c, hard, soft, rw, budget, Limits{})
+}
+
+// NewEnvWithLimits is NewEnv with explicit data-plane size guards —
+// the constructor the engine threads operator configuration through.
+func NewEnvWithLimits(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
+	rw reward.Config, budget Budget, lim Limits) (*Env, error) {
 	if c == nil {
 		return nil, fmt.Errorf("mdp: nil catalog")
 	}
@@ -164,8 +186,11 @@ func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
 	for i := 0; i < n; i++ {
 		m := c.At(i)
 		e.facts[i] = itemFacts{
+			// Catalog topic vectors arrive density-compacted; the per-item
+			// ideal intersection is compacted too, so the fact table costs
+			// bytes per set topic instead of vocab/8 per item.
 			topics:      m.Topics,
-			idealTopics: m.Topics.Intersect(soft.Ideal),
+			idealTopics: m.Topics.Intersect(soft.Ideal).Compact(),
 			credits:     m.Credits,
 			popularity:  m.Popularity,
 			category:    m.Category,
@@ -175,7 +200,8 @@ func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
 		exprs[i] = m.Prereq
 	}
 	if hard.MaxDistanceKm > 0 {
-		e.distMat = geo.NewDistMatrixCapped(e.pts, DistMatrixMaxItems)
+		e.dist = geo.NewDistStore(e.pts, lim.DistMatrixMax)
+		e.distMat, _ = e.dist.(*geo.DistMatrix)
 	}
 	compiled, err := prereq.Compile(exprs, c.Index)
 	if err != nil {
@@ -200,14 +226,28 @@ func NewEnv(c *item.Catalog, hard constraints.Hard, soft constraints.Soft,
 }
 
 // Dist returns the great-circle distance in kilometers between items i and
-// j, served from the precomputed matrix when one is active. Baselines and
-// the guided recommendation walk route their leg computations through this
-// so every consumer measures the same geometry as the learner.
+// j, served from the environment's distance store when a distance
+// constraint is active. Baselines and the guided recommendation walk route
+// their leg computations through this so every consumer measures the same
+// geometry as the learner.
 func (e *Env) Dist(i, j int) float64 {
 	if e.distMat != nil {
 		return e.distMat.Dist(i, j)
 	}
+	if e.dist != nil {
+		return e.dist.Dist(i, j)
+	}
 	return geo.Haversine(e.pts[i], e.pts[j])
+}
+
+// DistStoreBytes reports the resident bytes of the active distance store
+// (0 when no distance constraint is active) — the memory-accounting hook
+// the engine's cache budgeting and the scale harness read.
+func (e *Env) DistStoreBytes() int {
+	if e.dist == nil {
+		return 0
+	}
+	return e.dist.SizeBytes()
 }
 
 // Catalog returns the environment's item catalog.
@@ -456,7 +496,7 @@ func (ep *Episode) TransitionScratch(idx int) *reward.Transition {
 		SeqTypes: ep.candTypes,
 		// |T_ideal ∩ (T^m \ T_current)| = |(T^m ∩ T_ideal) \ T_current|,
 		// with the intersection precomputed per item in NewEnv.
-		CoverageGain: f.idealTopics.DifferenceCount(ep.current),
+		CoverageGain: bitset.CountDifference(&f.idealTopics, &ep.current),
 		IdealSize:    ep.env.idealSize,
 		PrereqOK:     ep.prereqOK[idx],
 		ThemeOK:      themeOK,

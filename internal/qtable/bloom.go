@@ -1,0 +1,62 @@
+package qtable
+
+import "math/bits"
+
+// bloom is a minimal split-hash Bloom filter over uint64 keys — the
+// Tiered reader's absent-cell test. It answers "definitely absent" in
+// one cache line most of the time, so the zero-class scan over a row
+// (every action the training episodes never stored) skips the
+// open-addressed probe for the overwhelming majority of indices. False
+// positives only cost the probe they would have paid anyway; there are
+// no false negatives.
+type bloom struct {
+	words []uint64
+	mask  uint64 // bit-count − 1; the bit count is a power of two
+	k     int
+}
+
+// newBloom sizes a filter for n expected keys at ~10 bits per key
+// (k = 4 hash functions → ~1–2% false-positive rate).
+func newBloom(n int) *bloom {
+	bitCount := 64
+	for bitCount < 10*n {
+		bitCount <<= 1
+	}
+	return &bloom{words: make([]uint64, bitCount/64), mask: uint64(bitCount - 1), k: 4}
+}
+
+// mix finalizes a key into two independent hash streams (splitmix64
+// finalizer; double hashing h1 + i·h2 spans the k probe bits).
+func bloomMix(key uint64) (uint64, uint64) {
+	z := key + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	h1 := z ^ (z >> 31)
+	h2 := bits.RotateLeft64(h1, 32) | 1 // odd, so probes never collapse
+	return h1, h2
+}
+
+// add inserts a key.
+func (b *bloom) add(key uint64) {
+	h1, h2 := bloomMix(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		b.words[bit>>6] |= 1 << (bit & 63)
+	}
+}
+
+// mayContain reports whether the key might have been added; false means
+// definitely not.
+func (b *bloom) mayContain(key uint64) bool {
+	h1, h2 := bloomMix(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		if b.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeBytes reports the filter's backing storage.
+func (b *bloom) sizeBytes() int { return 8 * len(b.words) }

@@ -66,15 +66,38 @@ func (t *Table) Merge(d *Delta, alpha float64) {
 	if d.n != t.n {
 		panic(fmt.Sprintf("qtable: merging delta over %d items into table of %d", d.n, t.n))
 	}
+	if t.q != nil {
+		for _, op := range d.ops {
+			i := int(op.s)*t.n + int(op.e)
+			if alpha == 1 {
+				// q + 1·(target − q) is target only up to rounding; assign
+				// directly so α=1 replays (overlay densification) are
+				// bit-exact, not merely close.
+				t.q[i] = op.target
+				continue
+			}
+			t.q[i] += alpha * (op.target - t.q[i])
+		}
+		return
+	}
+	// Sparse form: identical arithmetic per op against the visited-cell
+	// rows — the merge order alone determines the result, exactly as in
+	// the dense replay, so parallel training stays bit-identical across
+	// representations of the same values.
 	for _, op := range d.ops {
-		i := int(op.s)*t.n + int(op.e)
+		row := &t.rows[op.s]
 		if alpha == 1 {
-			// q + 1·(target − q) is target only up to rounding; assign
-			// directly so α=1 replays (overlay densification) are
-			// bit-exact, not merely close.
-			t.q[i] = op.target
+			if op.target == 0 && row.get(op.e) == 0 {
+				continue
+			}
+			row.set(op.e, op.target)
 			continue
 		}
-		t.q[i] += alpha * (op.target - t.q[i])
+		v := row.get(op.e)
+		v += alpha * (op.target - v)
+		if v == 0 && row.get(op.e) == 0 {
+			continue
+		}
+		row.set(op.e, v)
 	}
 }

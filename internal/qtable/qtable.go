@@ -1,8 +1,19 @@
-// Package qtable provides the dense |I|×|I| action-value table of §III-C.
+// Package qtable provides the |I|×|I| action-value table of §III-C.
 // Q(s, e) estimates the value of taking action e (moving to item e) from
 // state s (item s). The table supports masked arg-max queries (exclude
 // already-chosen items), snapshot persistence in both gob (compact) and
 // JSON (interoperable) encodings, and deterministic tie-breaking hooks.
+//
+// A Table is backed by one of two representations behind one API. At or
+// below the dense threshold it is the classic dense row-major float64
+// array — O(1) loads, the layout every bench to date measures. Above the
+// threshold New switches to sparse row storage (one open-addressed
+// visited-cell table per state, see oaRow): SARSA touches a vanishing
+// fraction of the n² pairs at catalog scale, so memory follows the
+// visited set instead of 8n² bytes (80 GB at 100k items dense). The two
+// representations are semantically identical — absent sparse cells read
+// as 0, exactly like never-written dense cells — and the property tests
+// pin Get/ArgMax/tie-order equivalence.
 package qtable
 
 import (
@@ -11,28 +22,78 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
-// Table is a dense action-value table over n items. The zero Table is not
-// usable; construct with New.
+// DefaultDenseMaxItems is the catalog size up to which New allocates the
+// dense n² array (128 MiB of float64 at 4096 items). Beyond it the
+// sparse representation wins on memory by orders of magnitude and the
+// serve path compiles to a Tiered reader instead of a dense scan.
+// Callers with operator-configured limits use NewWithDenseMax.
+const DefaultDenseMaxItems = 4096
+
+// Table is an action-value table over n items. The zero Table is not
+// usable; construct with New or NewWithDenseMax.
 //
-// Concurrency: Table does no locking. Mutators (Set, Update, Fill) must
-// not run concurrently with anything else, but once learning completes
-// the table is effectively immutable and the read-only methods (Get,
-// ArgMax, ArgMaxTies, Row, MaxAbs, WriteGob, WriteJSON) are safe to call
-// from any number of goroutines — the experiment pool relies on this to
-// share a learned policy across parallel evaluation runs.
+// Concurrency: Table does no locking. Mutators (Set, Update, Fill,
+// Merge) must not run concurrently with anything else, but once learning
+// completes the table is effectively immutable and the read-only methods
+// (Get, ArgMax, ArgMaxTies, Row, MaxAbs, WriteGob, WriteJSON) are safe
+// to call from any number of goroutines — the experiment pool relies on
+// this to share a learned policy across parallel evaluation runs.
 type Table struct {
-	n int
-	q []float64 // row-major: q[s*n+e]
+	n    int
+	q    []float64 // dense row-major q[s*n+e]; nil for the sparse form
+	rows []oaRow   // sparse per-state storage; nil for the dense form
 }
 
-// New returns an n×n table of zeros.
-func New(n int) *Table {
+// New returns an n×n table of zeros, dense up to DefaultDenseMaxItems
+// and sparse beyond it.
+func New(n int) *Table { return NewWithDenseMax(n, 0) }
+
+// NewWithDenseMax is New with an explicit dense threshold (<= 0 means
+// DefaultDenseMaxItems) — the constructor configured callers thread the
+// -dense-q-max operator limit through.
+func NewWithDenseMax(n, denseMax int) *Table {
 	if n < 0 {
 		panic(fmt.Sprintf("qtable: negative size %d", n))
 	}
-	return &Table{n: n, q: make([]float64, n*n)}
+	if denseMax <= 0 {
+		denseMax = DefaultDenseMaxItems
+	}
+	if n <= denseMax {
+		return &Table{n: n, q: make([]float64, n*n)}
+	}
+	return &Table{n: n, rows: make([]oaRow, n)}
+}
+
+// IsDense reports whether the table uses the dense n² representation.
+func (t *Table) IsDense() bool { return t.rows == nil }
+
+// Stored returns the number of materialized cells: n² for the dense
+// form, the visited-cell count for the sparse one.
+func (t *Table) Stored() int {
+	if t.IsDense() {
+		return t.n * t.n
+	}
+	c := 0
+	for i := range t.rows {
+		c += t.rows[i].used
+	}
+	return c
+}
+
+// MemoryBytes estimates the resident bytes of the table's backing
+// storage — the sparse form's figure follows the visited slots, not n².
+func (t *Table) MemoryBytes() int {
+	if t.IsDense() {
+		return 8 * len(t.q)
+	}
+	b := 48 * len(t.rows) // row headers
+	for i := range t.rows {
+		b += 12 * len(t.rows[i].keys)
+	}
+	return b
 }
 
 // Size returns n, the number of items (states).
@@ -47,22 +108,42 @@ func (t *Table) check(s, e int) {
 // Get returns Q(s, e).
 func (t *Table) Get(s, e int) float64 {
 	t.check(s, e)
-	return t.q[s*t.n+e]
+	if t.q != nil {
+		return t.q[s*t.n+e]
+	}
+	return t.rows[s].get(int32(e))
 }
 
-// rowView returns Q(s, ·) as a view into the table's backing array,
+// rowView returns Q(s, ·) as a view into the dense backing array,
 // without copying and without bounds-checking s — the accessor the
 // compiled-policy builder and the arg-max scans use on indices they
-// already validated. Callers must guarantee 0 <= s < n and must not
+// already validated. It returns nil for a sparse-backed table; callers
+// fall back to Get. Callers must guarantee 0 <= s < n and must not
 // mutate the returned slice.
 func (t *Table) rowView(s int) []float64 {
+	if t.q == nil {
+		return nil
+	}
 	return t.q[s*t.n : (s+1)*t.n]
 }
 
-// Set assigns Q(s, e) = v.
+// Set assigns Q(s, e) = v. On the sparse form, writing 0 to an absent
+// cell is a no-op (absent already reads 0); writing 0 over a stored cell
+// keeps the slot and zeroes it, which is semantically identical.
 func (t *Table) Set(s, e int, v float64) {
 	t.check(s, e)
-	t.q[s*t.n+e] = v
+	if t.q != nil {
+		t.q[s*t.n+e] = v
+		return
+	}
+	r := &t.rows[s]
+	if v == 0 && r.used == 0 {
+		return
+	}
+	if v == 0 && r.get(int32(e)) == 0 {
+		return
+	}
+	r.set(int32(e), v)
 }
 
 // Update applies the SARSA temporal-difference update of Equation 9:
@@ -78,11 +159,25 @@ func (t *Table) Update(s, e int, alpha, r, gamma float64, sNext, eNext int) floa
 	target := r
 	if sNext >= 0 && eNext >= 0 {
 		t.check(sNext, eNext)
-		target += gamma * t.q[sNext*t.n+eNext]
+		if t.q != nil {
+			target += gamma * t.q[sNext*t.n+eNext]
+		} else {
+			target += gamma * t.rows[sNext].get(int32(eNext))
+		}
 	}
-	i := s*t.n + e
-	t.q[i] += alpha * (target - t.q[i])
-	return t.q[i]
+	if t.q != nil {
+		i := s*t.n + e
+		t.q[i] += alpha * (target - t.q[i])
+		return t.q[i]
+	}
+	row := &t.rows[s]
+	v := row.get(int32(e))
+	v += alpha * (target - v)
+	if v == 0 && row.get(int32(e)) == 0 {
+		return 0 // 0 → 0: no need to materialize the cell
+	}
+	row.set(int32(e), v)
+	return v
 }
 
 // ArgMax returns the action e maximizing Q(s, e) among those allowed by
@@ -94,8 +189,32 @@ func (t *Table) ArgMax(s int, allowed func(e int) bool) (e int, ok bool) {
 		return -1, false
 	}
 	t.check(s, 0)
-	row := t.rowView(s)
-	return scanArgMax(t.n, func(a int) float64 { return row[a] }, allowed)
+	if row := t.rowView(s); row != nil {
+		return scanArgMax(t.n, func(a int) float64 { return row[a] }, allowed)
+	}
+	// Sparse fast path, mirroring Sparse.ArgMax: scan only the stored
+	// slots; when the best allowed stored value is positive it beats
+	// every absent (0) cell, so the O(n) merged scan is skipped. Stored
+	// zeros read as 0 and never qualify, exactly like absent cells.
+	r := &t.rows[s]
+	best, found := math.Inf(-1), false
+	e = -1
+	for i, k := range r.keys {
+		if k < 0 {
+			continue
+		}
+		a := int(k)
+		if allowed != nil && !allowed(a) {
+			continue
+		}
+		if v := r.vals[i]; !found || v > best || (v == best && a < e) {
+			best, e, found = v, a, true
+		}
+	}
+	if found && best > 0 {
+		return e, true
+	}
+	return scanArgMax(t.n, func(a int) float64 { return r.get(int32(a)) }, allowed)
 }
 
 // ArgMaxTies returns every action tied for the maximum Q(s, e) among the
@@ -112,25 +231,93 @@ func (t *Table) AppendArgMaxTies(s int, allowed func(e int) bool, buf []int) []i
 		return buf
 	}
 	t.check(s, 0)
-	row := t.rowView(s)
-	return scanAppendArgMaxTies(t.n, func(a int) float64 { return row[a] }, allowed, buf)
+	if row := t.rowView(s); row != nil {
+		return scanAppendArgMaxTies(t.n, func(a int) float64 { return row[a] }, allowed, buf)
+	}
+	r := &t.rows[s]
+	return scanAppendArgMaxTies(t.n, func(a int) float64 { return r.get(int32(a)) }, allowed, buf)
 }
 
-// Row returns a copy of Q(s, ·).
+// Row returns a copy of Q(s, ·) as a dense slice.
 func (t *Table) Row(s int) []float64 {
 	t.check(s, 0)
-	return append([]float64(nil), t.q[s*t.n:(s+1)*t.n]...)
+	if t.q != nil {
+		return append([]float64(nil), t.q[s*t.n:(s+1)*t.n]...)
+	}
+	out := make([]float64, t.n)
+	r := &t.rows[s]
+	for i, k := range r.keys {
+		if k >= 0 {
+			out[k] = r.vals[i]
+		}
+	}
+	return out
 }
 
-// Clone returns a deep copy of the table.
+// EachStored calls fn for every materialized non-zero cell in
+// deterministic (s ascending, e ascending) order — the enumeration the
+// persistence and transfer layers use so work scales with the visited
+// set instead of n².
+func (t *Table) EachStored(fn func(s, e int, v float64)) {
+	if t.q != nil {
+		for s := 0; s < t.n; s++ {
+			row := t.q[s*t.n : (s+1)*t.n]
+			for e, v := range row {
+				if v != 0 {
+					fn(s, e, v)
+				}
+			}
+		}
+		return
+	}
+	var es []int32
+	for s := range t.rows {
+		r := &t.rows[s]
+		if r.used == 0 {
+			continue
+		}
+		es = es[:0]
+		for i, k := range r.keys {
+			if k >= 0 && r.vals[i] != 0 {
+				es = append(es, k)
+			}
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+		for _, e := range es {
+			fn(s, int(e), r.get(e))
+		}
+	}
+}
+
+// Clone returns a deep copy of the table, preserving its representation.
 func (t *Table) Clone() *Table {
-	c := New(t.n)
-	copy(c.q, t.q)
+	if t.q != nil {
+		c := &Table{n: t.n, q: make([]float64, len(t.q))}
+		copy(c.q, t.q)
+		return c
+	}
+	c := &Table{n: t.n, rows: make([]oaRow, len(t.rows))}
+	for i := range t.rows {
+		c.rows[i] = t.rows[i].clone()
+	}
 	return c
 }
 
 // Fill sets every entry to v (useful for optimistic initialization).
+// Filling a sparse-backed table with a non-zero value materializes the
+// dense representation — optimistic initialization is inherently dense,
+// and callers above the dense threshold should prefer zero init.
 func (t *Table) Fill(v float64) {
+	if t.q == nil {
+		if v == 0 {
+			for i := range t.rows {
+				t.rows[i].reset()
+			}
+			return
+		}
+		t.q = make([]float64, t.n*t.n)
+		t.rows = nil
+	}
 	for i := range t.q {
 		t.q[i] = v
 	}
@@ -139,23 +326,58 @@ func (t *Table) Fill(v float64) {
 // MaxAbs returns the largest |Q(s,e)| in the table; 0 for an empty table.
 func (t *Table) MaxAbs() float64 {
 	var m float64
-	for _, v := range t.q {
-		if a := math.Abs(v); a > m {
-			m = a
+	if t.q != nil {
+		for _, v := range t.q {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	for s := range t.rows {
+		r := &t.rows[s]
+		for i, k := range r.keys {
+			if k < 0 {
+				continue
+			}
+			if a := math.Abs(r.vals[i]); a > m {
+				m = a
+			}
 		}
 	}
 	return m
 }
 
-// snapshot is the serialized form shared by gob and JSON.
+// snapshot is the serialized form shared by gob and JSON. Dense tables
+// fill Q (the historical layout, byte-identical with prior releases);
+// sparse tables fill the coordinate triples S/E/V sorted by (s, e), so
+// identical tables always encode to identical bytes. Exactly one payload
+// is present; gob matches fields by name, so either generation of reader
+// decodes either layout it knows about.
 type snapshot struct {
 	N int       `json:"n"`
-	Q []float64 `json:"q"`
+	Q []float64 `json:"q,omitempty"`
+	S []int32   `json:"s,omitempty"`
+	E []int32   `json:"e,omitempty"`
+	V []float64 `json:"v,omitempty"`
+}
+
+func (t *Table) snapshot() snapshot {
+	if t.q != nil {
+		return snapshot{N: t.n, Q: t.q}
+	}
+	snap := snapshot{N: t.n}
+	t.EachStored(func(s, e int, v float64) {
+		snap.S = append(snap.S, int32(s))
+		snap.E = append(snap.E, int32(e))
+		snap.V = append(snap.V, v)
+	})
+	return snap
 }
 
 // WriteGob writes the table in gob encoding.
 func (t *Table) WriteGob(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(snapshot{N: t.n, Q: t.q})
+	return gob.NewEncoder(w).Encode(t.snapshot())
 }
 
 // ReadGob reads a table previously written with WriteGob.
@@ -169,7 +391,7 @@ func ReadGob(r io.Reader) (*Table, error) {
 
 // WriteJSON writes the table as JSON.
 func (t *Table) WriteJSON(w io.Writer) error {
-	return json.NewEncoder(w).Encode(snapshot{N: t.n, Q: t.q})
+	return json.NewEncoder(w).Encode(t.snapshot())
 }
 
 // ReadJSON reads a table previously written with WriteJSON.
@@ -182,8 +404,23 @@ func ReadJSON(r io.Reader) (*Table, error) {
 }
 
 func fromSnapshot(s snapshot) (*Table, error) {
-	if s.N < 0 || len(s.Q) != s.N*s.N {
-		return nil, fmt.Errorf("qtable: corrupt snapshot: n=%d, %d values", s.N, len(s.Q))
+	if len(s.S) == 0 && len(s.E) == 0 && len(s.V) == 0 {
+		if s.N < 0 || len(s.Q) != s.N*s.N {
+			return nil, fmt.Errorf("qtable: corrupt snapshot: n=%d, %d values", s.N, len(s.Q))
+		}
+		return &Table{n: s.N, q: s.Q}, nil
 	}
-	return &Table{n: s.N, q: s.Q}, nil
+	if s.N < 0 || len(s.Q) != 0 || len(s.S) != len(s.E) || len(s.S) != len(s.V) {
+		return nil, fmt.Errorf("qtable: corrupt snapshot: n=%d, %d/%d/%d coordinates",
+			s.N, len(s.S), len(s.E), len(s.V))
+	}
+	t := &Table{n: s.N, rows: make([]oaRow, s.N)}
+	for i := range s.S {
+		se, e := int(s.S[i]), int(s.E[i])
+		if se < 0 || se >= s.N || e < 0 || e >= s.N {
+			return nil, fmt.Errorf("qtable: corrupt snapshot: entry (%d,%d) out of range [0,%d)", se, e, s.N)
+		}
+		t.Set(se, e, s.V[i])
+	}
+	return t, nil
 }

@@ -33,6 +33,7 @@ var (
 	_ Reader = (*Sparse)(nil)
 	_ Reader = (*Compiled)(nil)
 	_ Reader = (*Overlay)(nil)
+	_ Reader = (*Tiered)(nil)
 )
 
 // scanArgMax is the one allowed-scan arg-max every implementation

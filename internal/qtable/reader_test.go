@@ -7,17 +7,21 @@ import (
 )
 
 // readerFromDense builds every Reader implementation over the same
-// logical contents as the dense table: the sparse copy, the compiled
-// order (with a small k to force lazy-tail walks), an empty overlay on
-// each of them, and an overlay whose shadow cells happen to equal the
-// base values (shadowed-but-identical rows must not change results).
+// logical contents as the dense table: the map-backed sparse copy, a
+// sparse-backed Table (the representation forced regardless of n), the
+// compiled order (with a small k to force lazy-tail walks), the tiered
+// reader over the sparse-backed table, an empty overlay on dense and
+// sparse, and an overlay whose shadow cells happen to equal the base
+// values (shadowed-but-identical rows must not change results).
 func readersFromDense(dense *Table, rng *rand.Rand) map[string]Reader {
 	n := dense.Size()
 	sparse := NewSparse(n)
+	sparseTable := &Table{n: n, rows: make([]oaRow, n)}
 	for s := 0; s < n; s++ {
 		for e := 0; e < n; e++ {
 			if v := dense.Get(s, e); v != 0 {
 				sparse.Set(s, e, v)
+				sparseTable.Set(s, e, v)
 			}
 		}
 	}
@@ -38,8 +42,10 @@ func readersFromDense(dense *Table, rng *rand.Rand) map[string]Reader {
 	}
 	return map[string]Reader{
 		"table":          dense,
+		"table/oarows":   sparseTable,
 		"sparse":         sparse,
 		"compiled":       compiled,
+		"tiered":         NewTiered(sparseTable),
 		"overlay/table":  NewOverlay(dense, 0),
 		"overlay/sparse": NewOverlay(sparse, 0),
 		"overlay/shadow": shadow,
@@ -47,9 +53,10 @@ func readersFromDense(dense *Table, rng *rand.Rand) map[string]Reader {
 }
 
 // TestReaderEquivalence is the cross-implementation equivalence
-// property: every Reader — dense, sparse, compiled walk, and overlays
-// (empty and value-identical shadows) — returns the same Get, ArgMax
-// and AppendArgMaxTies results under random contents and masks.
+// property: every Reader — dense table, sparse-backed table, map
+// sparse, compiled walk, tiered walk, and overlays (empty and
+// value-identical shadows) — returns the same Get, ArgMax and
+// AppendArgMaxTies results under random contents and masks.
 func TestReaderEquivalence(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -57,7 +57,7 @@ func episodeSeed(base int64, i int) int64 {
 // warm-start table when Config.Init is set.
 func initialQ(cfg Config, n int) (*qtable.Table, error) {
 	if cfg.Init == nil {
-		return qtable.New(n), nil
+		return qtable.NewWithDenseMax(n, cfg.DenseQMax), nil
 	}
 	if cfg.Init.Size() != n {
 		return nil, fmt.Errorf("sarsa: warm-start table over %d items, catalog has %d", cfg.Init.Size(), n)

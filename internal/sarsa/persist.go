@@ -8,42 +8,78 @@ import (
 	"github.com/rlplanner/rlplanner/internal/qtable"
 )
 
-// policySnapshot is the serialized form of a Policy.
+// policySnapshot is the serialized form of a Policy. A dense-backed
+// table fills Q, the historical flat layout; a sparse-backed one fills
+// the QS/QE/QV coordinate triples (sorted by state then action, so
+// identical policies encode to identical bytes). Exactly one payload is
+// present; gob matches fields by name, so old streams keep decoding.
 type policySnapshot struct {
 	N   int
 	Q   []float64
+	QS  []int32
+	QE  []int32
+	QV  []float64
 	IDs []string
 }
 
 // WriteGob persists the policy (Q table plus item-id alignment) so learned
 // policies can be stored, shipped and reloaded for interactive use or
-// transfer.
+// transfer. Sparse-backed tables persist their visited cells only —
+// snapshot size follows training, not n².
 func (p *Policy) WriteGob(w io.Writer) error {
 	if p.Q == nil {
 		return fmt.Errorf("sarsa: nil Q table")
 	}
 	n := p.Q.Size()
 	snap := policySnapshot{N: n, IDs: p.IDs}
-	snap.Q = make([]float64, 0, n*n)
-	for s := 0; s < n; s++ {
-		snap.Q = append(snap.Q, p.Q.Row(s)...)
+	if p.Q.IsDense() {
+		snap.Q = make([]float64, 0, n*n)
+		for s := 0; s < n; s++ {
+			snap.Q = append(snap.Q, p.Q.Row(s)...)
+		}
+	} else {
+		p.Q.EachStored(func(s, e int, v float64) {
+			snap.QS = append(snap.QS, int32(s))
+			snap.QE = append(snap.QE, int32(e))
+			snap.QV = append(snap.QV, v)
+		})
 	}
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// ReadPolicy loads a policy written by WriteGob.
+// ReadPolicy loads a policy written by WriteGob, restoring the
+// representation it was saved from.
 func ReadPolicy(r io.Reader) (*Policy, error) {
 	var snap policySnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("sarsa: decode policy: %w", err)
 	}
-	if snap.N < 0 || len(snap.Q) != snap.N*snap.N {
-		return nil, fmt.Errorf("sarsa: corrupt policy snapshot (n=%d, %d values)", snap.N, len(snap.Q))
-	}
 	if len(snap.IDs) != 0 && len(snap.IDs) != snap.N {
 		return nil, fmt.Errorf("sarsa: policy ids (%d) do not match table size %d", len(snap.IDs), snap.N)
 	}
-	q := qtable.New(snap.N)
+	coords := len(snap.QS) + len(snap.QE) + len(snap.QV)
+	if coords > 0 {
+		if snap.N < 0 || len(snap.Q) != 0 ||
+			len(snap.QS) != len(snap.QE) || len(snap.QS) != len(snap.QV) {
+			return nil, fmt.Errorf("sarsa: corrupt policy snapshot (n=%d, %d/%d/%d coordinates)",
+				snap.N, len(snap.QS), len(snap.QE), len(snap.QV))
+		}
+		// Force the sparse representation regardless of the local dense
+		// threshold: the table round-trips as it was trained.
+		q := qtable.NewWithDenseMax(snap.N, 1)
+		for i := range snap.QS {
+			s, e := int(snap.QS[i]), int(snap.QE[i])
+			if s < 0 || s >= snap.N || e < 0 || e >= snap.N {
+				return nil, fmt.Errorf("sarsa: corrupt policy snapshot: cell (%d,%d) out of range [0,%d)", s, e, snap.N)
+			}
+			q.Set(s, e, snap.QV[i])
+		}
+		return &Policy{Q: q, IDs: snap.IDs}, nil
+	}
+	if snap.N < 0 || len(snap.Q) != snap.N*snap.N {
+		return nil, fmt.Errorf("sarsa: corrupt policy snapshot (n=%d, %d values)", snap.N, len(snap.Q))
+	}
+	q := qtable.NewWithDenseMax(snap.N, snap.N)
 	for s := 0; s < snap.N; s++ {
 		for e := 0; e < snap.N; e++ {
 			q.Set(s, e, snap.Q[s*snap.N+e])

@@ -112,6 +112,10 @@ type Config struct {
 	// Workers >= 1 — Workers=1 and Workers=64 produce the same Q table —
 	// so the worker count is purely a throughput knob.
 	Workers int
+	// DenseQMax overrides the dense/sparse threshold of the learned Q
+	// table (<= 0 means qtable.DefaultDenseMaxItems) — the -dense-q-max
+	// operator knob threaded through core.Options.
+	DenseQMax int
 	// Init warm-starts learning from an existing Q table instead of
 	// zeros (the table is cloned, never mutated). The incremental
 	// retraining path feeds a transfer-mapped table from the nearest
@@ -177,17 +181,24 @@ type Policy struct {
 	IDs []string
 
 	compileOnce sync.Once
-	compiled    *qtable.Compiled
+	compiled    qtable.Reader
 }
 
-// Compiled returns the policy's serve-time compiled action order
-// (top-K eager prefix plus lazy full tail), building it on first use.
-// The engine layer calls this at train/artifact-load time so the first
-// user request never pays the compile; direct constructors (tests,
+// Compiled returns the policy's serve-time read structure, building it
+// on first use: the compiled action order (top-K eager prefix plus lazy
+// full tail) for a dense-backed table, the tiered walk (sorted stored
+// cells plus Bloom-gated zero class) for a sparse-backed one — the
+// latter builds in O(stored) where Compile would scan n² cells. The
+// engine layer calls this at train/artifact-load time so the first
+// user request never pays the build; direct constructors (tests,
 // transfer) get it lazily. Safe for concurrent use.
-func (p *Policy) Compiled() *qtable.Compiled {
+func (p *Policy) Compiled() qtable.Reader {
 	p.compileOnce.Do(func() {
-		p.compiled = qtable.Compile(p.Q, qtable.DefaultTopK)
+		if p.Q.IsDense() {
+			p.compiled = qtable.Compile(p.Q, qtable.DefaultTopK)
+		} else {
+			p.compiled = qtable.NewTiered(p.Q)
+		}
 	})
 	return p.compiled
 }

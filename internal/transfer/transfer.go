@@ -118,20 +118,27 @@ func Map(src *sarsa.Policy, srcCat, dstCat *item.Catalog) (*sarsa.Policy, *Mappi
 	}
 	m := Match(srcCat, dstCat)
 
-	q := qtable.New(dstCat.Len())
-	for s := 0; s < dstCat.Len(); s++ {
-		ms := m.DstToSrc[s]
-		if ms < 0 {
-			continue
-		}
-		for e := 0; e < dstCat.Len(); e++ {
-			me := m.DstToSrc[e]
-			if me < 0 || ms == me {
-				continue
-			}
-			q.Set(s, e, src.Q.Get(ms, me))
+	// Walk the source's stored cells through a reverse source→targets
+	// index instead of probing all n² target pairs: zero cells transfer
+	// as zero for free, so the work follows the visited set — the only
+	// tractable shape when the source is a sparse catalog-scale table.
+	rev := make([][]int32, srcCat.Len())
+	for d, s := range m.DstToSrc {
+		if s >= 0 {
+			rev[s] = append(rev[s], int32(d))
 		}
 	}
+	q := qtable.New(dstCat.Len())
+	src.Q.EachStored(func(ss, se int, v float64) {
+		if ss == se {
+			return // the original pair loop skipped ms == me
+		}
+		for _, ds := range rev[ss] {
+			for _, de := range rev[se] {
+				q.Set(int(ds), int(de), v)
+			}
+		}
+	})
 	return &sarsa.Policy{Q: q, IDs: dstCat.IDs()}, m, nil
 }
 
