@@ -3,7 +3,7 @@ GO ?= go
 # Packages exercising the worker pool, the scratch-buffer hot path and
 # the singleflight serving path — the ones worth a race pass on every
 # change.
-RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/... ./internal/qtable/... ./internal/feedback/... ./internal/bitset/... ./internal/geo/...
+RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... ./internal/engine/... ./internal/httpapi/... ./internal/qtable/... ./internal/feedback/... ./internal/bitset/... ./internal/geo/... ./internal/repo/...
 
 # Packages holding the resilience layer and its fault-injection matrix:
 # the scriptable fault engine driven through the live HTTP stack
@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... .
 # plus the daemon's signal-drain tests.
 FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-.PHONY: check vet build test race faults bench-hot bench-json servebench trainbench userbench scalebench
+.PHONY: check vet build test race faults repofaults bench-hot bench-json servebench trainbench userbench scalebench
 
 check: vet build test race faults
 
@@ -31,6 +31,14 @@ race:
 # must yield a degraded plan or a clean 5xx, never a crash (DESIGN §10).
 faults:
 	$(GO) test -race $(FAULT_PKGS)
+
+# Disk-fault matrix for the durable policy repository under the race
+# detector: ENOSPC mid-write, kill-mid-write crash consistency, failed
+# rename/fsync, corrupt-at-boot quarantine, and the cross-process claim
+# protocol including stale-lease takeover (DESIGN §15).
+repofaults:
+	$(GO) test -race ./internal/repo/...
+	$(GO) test -race ./internal/httpapi/ -run 'TestRepo|TestPreload'
 
 # Microbenchmarks for the per-step MDP loop; run with -benchmem so alloc
 # regressions are visible.

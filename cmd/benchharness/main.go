@@ -154,6 +154,11 @@ func main() {
 		if rec.BatchSize > 0 {
 			fmt.Printf("serve: batch(%d): %.0f plans/s\n", rec.BatchSize, rec.BatchReqPerSec)
 		}
+		if rec.WarmBootNs > 0 {
+			fmt.Printf("serve: time-to-first-plan: cold boot %s (train+persist), repo-warm boot %s (%.1fx)\n",
+				time.Duration(rec.ColdBootNs), time.Duration(rec.WarmBootNs),
+				float64(rec.ColdBootNs)/float64(rec.WarmBootNs))
+		}
 		if *benchjson != "" {
 			if err := writeServeRecord(*benchjson, rec); err != nil {
 				fmt.Fprintf(os.Stderr, "serve: %v\n", err)

@@ -49,6 +49,13 @@ type serveRecord struct {
 	BytesOp        uint64  `json:"bytes_op"`
 	BatchSize      int     `json:"batch_size,omitempty"`
 	BatchReqPerSec float64 `json:"batch_req_per_sec,omitempty"`
+	// Boot phase: time-to-first-plan for a daemon with a durable policy
+	// repository. Cold is a fresh directory (the first plan trains and
+	// writes through); warm is a second process on the same directory
+	// (the first plan loads the artifact instead of training). The ratio
+	// is the restart-without-retrain win.
+	ColdBootNs int64 `json:"cold_boot_ns,omitempty"`
+	WarmBootNs int64 `json:"warm_boot_ns,omitempty"`
 }
 
 // serveBench stands up the live HTTP serving stack (the same handler
@@ -167,7 +174,52 @@ func serveBench(cfg serveConfig) (serveRecord, error) {
 			rec.BatchReqPerSec = rps
 		}
 	}
+	if cold, warm, err := serveBootPhase(cfg, planBody); err != nil {
+		return rec, err
+	} else {
+		rec.ColdBootNs = cold.Nanoseconds()
+		rec.WarmBootNs = warm.Nanoseconds()
+	}
 	return rec, nil
+}
+
+// serveBootPhase measures time-to-first-plan twice over one durable
+// policy directory: a cold boot (empty directory, the plan trains and
+// writes the artifact through) and a warm boot (a new server over the
+// trained directory, the plan restores the artifact from disk). Both
+// timings span server construction — including the warm boot's
+// verify-everything repository scan — through the first 200 response.
+func serveBootPhase(cfg serveConfig, planBody []byte) (cold, warm time.Duration, err error) {
+	dir, err := os.MkdirTemp("", "benchharness-policy-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	firstPlan := func() (time.Duration, error) {
+		t0 := time.Now()
+		srv := httptest.NewServer(httpapi.New(httpapi.WithPolicyDir(dir)).Handler())
+		defer srv.Close()
+		resp, err := srv.Client().Post(srv.URL+"/api/plan", "application/json", bytes.NewReader(planBody))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var sink json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("boot-phase plan returned HTTP %d", resp.StatusCode)
+		}
+		return time.Since(t0), nil
+	}
+	if cold, err = firstPlan(); err != nil {
+		return 0, 0, fmt.Errorf("cold boot: %w", err)
+	}
+	if warm, err = firstPlan(); err != nil {
+		return 0, 0, fmt.Errorf("warm boot: %w", err)
+	}
+	return cold, warm, nil
 }
 
 // serveBatchPhase measures /api/plan/batch throughput in plans per

@@ -46,7 +46,17 @@
 //	           [-max-training 0] [-train-workers 0] [-auto-derive]
 //	           [-overlay-budget 0] [-overlay-cells 0]
 //	           [-dist-matrix-max 0] [-dense-q-max 0]
+//	           [-policy-dir dir] [-preload manifest.json]
 //	           [-drain-timeout 10s] [-pprof addr]
+//
+// With -policy-dir the daemon keeps a durable, crash-safe policy
+// repository on disk: trained policies are written through (temp file +
+// fsync + atomic rename, checksummed), verified and reloaded on the
+// next boot, and corrupt or truncated entries are quarantined to *.bad
+// instead of crashing the scan. Replicas pointing at one shared
+// directory coordinate through per-key lease files so each policy
+// trains exactly once fleet-wide. -preload names a JSON manifest of
+// plan requests resolved before the listener accepts traffic.
 package main
 
 import (
@@ -83,6 +93,10 @@ func main() {
 		"catalog size up to which an exact distance matrix is precomputed (0 = default 1024); larger trip catalogs use a compressed quantized neighbor store")
 	denseQMax := flag.Int("dense-q-max", 0,
 		"catalog size up to which training allocates a dense n*n Q table (0 = default 4096); larger catalogs learn into a sparse table")
+	policyDir := flag.String("policy-dir", "",
+		"directory for the durable policy repository (empty disables); trained policies are written through crash-safely and reloaded on boot, and replicas sharing one directory train each key exactly once")
+	preload := flag.String("preload", "",
+		"boot manifest: a JSON array of plan requests to train or warm-load before serving (requires no flag ordering; works best with -policy-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"grace period for in-flight requests after SIGTERM/SIGINT")
 	pprofAddr := flag.String("pprof", "",
@@ -112,7 +126,7 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	log.Printf("rlplannerd listening on %s", ln.Addr())
-	if err := serve(ln, stop, *drainTimeout,
+	if err := serve(ln, stop, *drainTimeout, *preload,
 		httpapi.WithPolicyCacheSize(*cache),
 		httpapi.WithTrainBudget(*trainTimeout),
 		httpapi.WithMaxTraining(*maxTraining),
@@ -122,6 +136,7 @@ func main() {
 		httpapi.WithOverlayCells(*overlayCells),
 		httpapi.WithDistMatrixMax(*distMatrixMax),
 		httpapi.WithDenseQMax(*denseQMax),
+		httpapi.WithPolicyDir(*policyDir),
 	); err != nil {
 		log.Fatal(err)
 	}
@@ -145,8 +160,27 @@ func pprofMux() *http.ServeMux {
 // (0 = wait indefinitely). It returns nil after a clean drain, the
 // shutdown context's error when the grace period expires with requests
 // still active (after force-closing them), or the listener's error.
-func serve(ln net.Listener, stop <-chan os.Signal, drainTimeout time.Duration, opts ...httpapi.Option) error {
+// A non-empty preload names a boot manifest resolved before the
+// listener starts accepting: with -policy-dir these keys come off disk
+// in milliseconds on a warm boot, and a cold fleet trains each exactly
+// once.
+func serve(ln net.Listener, stop <-chan os.Signal, drainTimeout time.Duration, preload string, opts ...httpapi.Option) error {
 	api := httpapi.New(opts...)
+	if preload != "" {
+		f, err := os.Open(preload)
+		if err != nil {
+			return err
+		}
+		n, err := api.Preload(context.Background(), f)
+		f.Close()
+		if err != nil {
+			// Partial manifests are a warning, not a boot failure: the keys
+			// that did resolve are warm, the rest train on first request.
+			log.Printf("rlplannerd: preload: %d policies ready, some entries failed: %v", n, err)
+		} else {
+			log.Printf("rlplannerd: preload: %d policies ready", n)
+		}
+	}
 	srv := &http.Server{Handler: api.Handler()}
 
 	errc := make(chan error, 1)

@@ -23,7 +23,7 @@ func startServe(t *testing.T, drain time.Duration) (string, chan os.Signal, chan
 	}
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, stop, drain) }()
+	go func() { done <- serve(ln, stop, drain, "") }()
 	url := "http://" + ln.Addr().String()
 	waitReady(t, url)
 	return url, stop, done

@@ -5,12 +5,32 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/rlplanner/rlplanner/internal/core"
 	"github.com/rlplanner/rlplanner/internal/dataset"
 	"github.com/rlplanner/rlplanner/internal/qtable"
 	"github.com/rlplanner/rlplanner/internal/sarsa"
 )
+
+// artifactLoadFailures counts failed artifact restores process-wide —
+// truncated or corrupt gob streams, fingerprint mismatches, out-of-range
+// payloads — surfaced as artifact_load_failures_total in /api/metrics. A
+// climbing figure means a repository (or an operator's import pipeline)
+// is feeding the daemon bad artifacts.
+var artifactLoadFailures atomic.Int64
+
+// ArtifactLoadFailures reports the cumulative failed-restore count.
+func ArtifactLoadFailures() int64 { return artifactLoadFailures.Load() }
+
+// noteLoadFailure counts err (when non-nil) as a failed artifact load
+// and passes it through.
+func noteLoadFailure(err error) error {
+	if err != nil {
+		artifactLoadFailures.Add(1)
+	}
+	return err
+}
 
 const (
 	// artifactMagic guards against feeding arbitrary gob streams (or the
@@ -106,7 +126,10 @@ func saveArtifact(w io.Writer, a artifact) error {
 func decodeArtifact(r io.Reader, inst *dataset.Instance) (artifact, error) {
 	var a artifact
 	if err := gob.NewDecoder(r).Decode(&a); err != nil {
-		return a, fmt.Errorf("engine: decode policy artifact: %w", err)
+		// A bare gob error ("unexpected EOF") tells an operator nothing;
+		// name the format and the version range this reader understands so
+		// a truncated or foreign file is diagnosable from the message.
+		return a, fmt.Errorf("engine: decode policy artifact (format v1-v%d): %w", ArtifactVersion, err)
 	}
 	if a.Magic != artifactMagic {
 		return a, fmt.Errorf("engine: not an RL-Planner policy artifact (magic %q)", a.Magic)
@@ -162,6 +185,11 @@ func restoreValues(a artifact, inst *dataset.Instance) (*sarsa.Policy, error) {
 // artifact. Procedural engines (EDA, OMEGA, gold) carry no values — their
 // construction is re-run, seeded from the artifact.
 func Load(r io.Reader, inst *dataset.Instance, opts core.Options) (Policy, error) {
+	p, err := loadArtifact(r, inst, opts)
+	return p, noteLoadFailure(err)
+}
+
+func loadArtifact(r io.Reader, inst *dataset.Instance, opts core.Options) (Policy, error) {
 	a, err := decodeArtifact(r, inst)
 	if err != nil {
 		return nil, err
@@ -219,6 +247,11 @@ func SaveValues(w io.Writer, engineName string, inst *dataset.Instance, values *
 // the fingerprint check, for callers that manage their own environment.
 // It refuses procedural artifacts.
 func LoadValues(r io.Reader, inst *dataset.Instance) (*sarsa.Policy, error) {
+	p, err := loadValues(r, inst)
+	return p, noteLoadFailure(err)
+}
+
+func loadValues(r io.Reader, inst *dataset.Instance) (*sarsa.Policy, error) {
 	a, err := decodeArtifact(r, inst)
 	if err != nil {
 		return nil, err

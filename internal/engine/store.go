@@ -26,6 +26,11 @@ type Store[V any] struct {
 	order   *list.List // front = most recently used
 	calls   map[string]*call[V]
 
+	// tier is the optional durable second tier (AttachTier): consulted
+	// after a memory miss before training, written through after every
+	// successful run, quarantined alongside Remove.
+	tier Tier[V]
+
 	// hits / misses count lookup outcomes for the metrics endpoint. A
 	// Cached probe only counts on success (its miss is not final — the
 	// caller typically proceeds to GetOrTrain, which records the real
@@ -152,22 +157,28 @@ func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, 
 		s.mu.Unlock()
 		close(c.done)
 	}()
-	c.val, c.err = train()
+	c.val, c.err = s.runTrain(ctx, key, train)
 	finished = true
 	return c.val, true, c.err
 }
 
 // Remove evicts key from the cache. The serving layer uses it to drop a
 // policy that failed at Recommend time (a malformed artifact), so the
-// next request retrains instead of re-serving the bad value. An
-// in-flight training call for the key is unaffected. Removing an absent
-// key is a no-op.
+// next request retrains instead of re-serving the bad value. With a
+// durable tier attached, the key's on-disk entry is quarantined too —
+// otherwise the bad artifact would simply reload from disk on the next
+// miss. An in-flight training call for the key is unaffected. Removing
+// an absent key is a no-op.
 func (s *Store[V]) Remove(key string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
 		s.order.Remove(el)
 		delete(s.entries, key)
+	}
+	t := s.tier
+	s.mu.Unlock()
+	if t != nil {
+		t.Quarantine(key)
 	}
 }
 

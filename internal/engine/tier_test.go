@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTier is an in-memory Tier for protocol tests.
+type fakeTier struct {
+	mu          sync.Mutex
+	entries     map[string]int
+	quarantined map[string]bool
+	claimed     map[string]bool
+	arbErr      error // TryClaim error when set
+	denyClaim   bool  // TryClaim reports contended when set
+	puts, gets  int
+}
+
+func newFakeTier() *fakeTier {
+	return &fakeTier{
+		entries:     map[string]int{},
+		quarantined: map[string]bool{},
+		claimed:     map[string]bool{},
+	}
+}
+
+func (t *fakeTier) Get(key string) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gets++
+	v, ok := t.entries[key]
+	return v, ok
+}
+
+func (t *fakeTier) Put(key string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.puts++
+	t.entries[key] = v
+}
+
+func (t *fakeTier) Quarantine(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quarantined[key] = true
+	delete(t.entries, key)
+}
+
+func (t *fakeTier) TryClaim(key string) (func(), bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.arbErr != nil {
+		return nil, false, t.arbErr
+	}
+	if t.denyClaim || t.claimed[key] {
+		return nil, false, nil
+	}
+	t.claimed[key] = true
+	return func() {
+		t.mu.Lock()
+		delete(t.claimed, key)
+		t.mu.Unlock()
+	}, true, nil
+}
+
+func TestTierHitSkipsTraining(t *testing.T) {
+	ft := newFakeTier()
+	ft.entries["k"] = 42
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	trained := 0
+	v, ran, err := s.GetOrTrain(context.Background(), "k", func() (int, error) {
+		trained++
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("GetOrTrain = %d, %v", v, err)
+	}
+	if trained != 0 {
+		t.Fatalf("tier hit still trained %d times", trained)
+	}
+	_ = ran // the leader "ran" the resolution, just not a training
+	// The tier hit fills the memory LRU: the next lookup is a pure cache
+	// hit that never touches the tier.
+	gets := ft.gets
+	if v, ok := s.Cached("k"); !ok || v != 42 {
+		t.Fatalf("Cached after tier fill = %d, %v", v, ok)
+	}
+	if ft.gets != gets {
+		t.Fatal("cached read consulted the tier")
+	}
+}
+
+func TestTierMissTrainsAndWritesThrough(t *testing.T) {
+	ft := newFakeTier()
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	v, _, err := s.GetOrTrain(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("GetOrTrain = %d, %v", v, err)
+	}
+	if ft.entries["k"] != 7 || ft.puts != 1 {
+		t.Fatalf("write-through missing: entries=%v puts=%d", ft.entries, ft.puts)
+	}
+	if len(ft.claimed) != 0 {
+		t.Fatalf("claim not released: %v", ft.claimed)
+	}
+}
+
+func TestTierTrainFailureReleasesClaimWithoutPut(t *testing.T) {
+	ft := newFakeTier()
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	boom := errors.New("boom")
+	if _, _, err := s.GetOrTrain(context.Background(), "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ft.puts != 0 {
+		t.Fatal("failed training wrote through")
+	}
+	if len(ft.claimed) != 0 {
+		t.Fatalf("claim leaked after failure: %v", ft.claimed)
+	}
+}
+
+// TestTierContendedWaitsForArtifact: while another "process" holds the
+// claim, the store polls; when the trainer's artifact lands in the
+// tier, the waiter serves it without ever training.
+func TestTierContendedWaitsForArtifact(t *testing.T) {
+	ft := newFakeTier()
+	ft.denyClaim = true
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	go func() {
+		time.Sleep(60 * time.Millisecond) // a couple of poll rounds
+		ft.Put("k", 99)
+	}()
+	trained := 0
+	v, _, err := s.GetOrTrain(context.Background(), "k", func() (int, error) {
+		trained++
+		return 0, nil
+	})
+	if err != nil || v != 99 {
+		t.Fatalf("GetOrTrain = %d, %v", v, err)
+	}
+	if trained != 0 {
+		t.Fatal("waiter trained despite remote artifact")
+	}
+}
+
+// TestTierContendedHonorsContext: a waiter whose context dies while the
+// remote trainer holds the claim returns the context error instead of
+// spinning.
+func TestTierContendedHonorsContext(t *testing.T) {
+	ft := newFakeTier()
+	ft.denyClaim = true
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, err := s.GetOrTrain(ctx, "k", func() (int, error) { return 1, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want deadline exceeded", err)
+	}
+}
+
+// TestTierArbitrationErrorDegradesToLocalTraining: a tier that cannot
+// arbitrate (disk fault) must not block serving — the store trains
+// locally and still attempts the write-through.
+func TestTierArbitrationErrorDegradesToLocalTraining(t *testing.T) {
+	ft := newFakeTier()
+	ft.arbErr = errors.New("disk on fire")
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	v, _, err := s.GetOrTrain(context.Background(), "k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("GetOrTrain = %d, %v", v, err)
+	}
+	if ft.entries["k"] != 5 {
+		t.Fatal("write-through skipped on arbitration failure")
+	}
+}
+
+// TestRemoveQuarantinesTier: evicting a malformed policy must also
+// invalidate the durable entry, or it reloads forever on the next miss.
+func TestRemoveQuarantinesTier(t *testing.T) {
+	ft := newFakeTier()
+	ft.entries["k"] = 13
+	s := NewStore[int](4)
+	s.AttachTier(ft)
+	if v, _, _ := s.GetOrTrain(context.Background(), "k", func() (int, error) { return 0, nil }); v != 13 {
+		t.Fatal("setup: tier entry not served")
+	}
+	s.Remove("k")
+	if !ft.quarantined["k"] {
+		t.Fatal("Remove did not quarantine the tier entry")
+	}
+	// The next miss retrains instead of reloading the bad artifact.
+	trained := 0
+	v, _, err := s.GetOrTrain(context.Background(), "k", func() (int, error) {
+		trained++
+		return 21, nil
+	})
+	if err != nil || v != 21 || trained != 1 {
+		t.Fatalf("post-quarantine GetOrTrain = %d (trained %d), %v", v, trained, err)
+	}
+}

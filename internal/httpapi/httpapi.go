@@ -26,6 +26,7 @@ import (
 
 	"github.com/rlplanner/rlplanner"
 	"github.com/rlplanner/rlplanner/internal/engine"
+	"github.com/rlplanner/rlplanner/internal/repo"
 	"github.com/rlplanner/rlplanner/internal/resilience"
 )
 
@@ -39,6 +40,14 @@ type Server struct {
 	nextID   int
 
 	policies *engine.Store[*rlplanner.Policy]
+
+	// policyDir roots the durable policy repository (WithPolicyDir, ""
+	// disables it); repo and tier are live once New opened it. The tier
+	// sits behind the policy store: memory LRU → on-disk repo → train,
+	// with write-through on train and a cross-process training claim.
+	policyDir string
+	repo      *repo.Repo
+	tier      *policyTier
 
 	// trainBudget bounds each cold-start training run (0 = unbounded).
 	// Engines that can checkpoint (sarsa, qlearning) return a partial
@@ -218,6 +227,7 @@ func New(opts ...Option) *Server {
 		o(s)
 	}
 	s.overlays = newOverlayStore(s.overlayBudget, s.overlayCells)
+	s.openRepo()
 	return s
 }
 

@@ -250,5 +250,19 @@ func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
 	// rapidly growing figure means the band (geo.DefaultNeighborK) is too
 	// narrow for this catalog's plan geometry.
 	m["dist_fallback_total"] = int64(geo.FallbackTotal())
+	// Durable-tier observability: repository lookups/write-throughs, the
+	// entries quarantined as corrupt (boot scan or read path), and how
+	// often this replica waited on another process's training claim. All
+	// zero when no -policy-dir is configured.
+	rs := s.repoStats()
+	m["repo_hits"] = int64(rs.Hits)
+	m["repo_misses"] = int64(rs.Misses)
+	m["repo_writes"] = int64(rs.Writes)
+	m["repo_quarantined_total"] = int64(rs.Quarantined)
+	m["repo_claim_waits"] = int64(rs.ClaimWaits)
+	// Failed artifact restores (truncated/corrupt gob, fingerprint
+	// mismatch), wherever the artifact came from — repository, import
+	// endpoint or preload.
+	m["artifact_load_failures_total"] = engine.ArtifactLoadFailures()
 	writeJSON(w, http.StatusOK, m)
 }

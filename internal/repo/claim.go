@@ -1,0 +1,145 @@
+// Cross-process claim protocol: at most one trainer per key across
+// every process sharing the repository directory.
+//
+// A claim is a lock file (<entry>.lock) created with O_CREATE|O_EXCL —
+// the filesystem's atomic test-and-set — containing the holder's PID. A
+// held lease heartbeats by refreshing the lock file's mtime; a lease
+// whose heartbeat is older than the TTL, or whose PID is provably dead,
+// is stale. Takeover is race-free without fcntl locks: the contender
+// atomically renames the stale lock to a process-unique name (only one
+// renamer can win) before deleting it and competing again on O_EXCL.
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// lease is a held training claim. Releasing stops the heartbeat and
+// removes the lock file so waiting processes can proceed.
+type lease struct {
+	r    *Repo
+	path string
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// TryClaim attempts to become the cross-process trainer for key.
+//
+//   - (release, true, nil): this process holds the claim; it must train,
+//     Put the artifact and call release (also on failure).
+//   - (nil, false, nil): another live process holds the claim; poll Get
+//     until its artifact appears, then re-try the claim if it never does.
+//   - (nil, false, err): the repository cannot arbitrate (disk fault);
+//     callers degrade to local training rather than failing the request.
+//
+// A stale lock — heartbeat mtime older than the lease TTL, or a holder
+// PID that no longer exists — is taken over in place.
+func (r *Repo) TryClaim(key string) (release func(), claimed bool, err error) {
+	path := filepath.Join(r.dir, entryName(key)+".lock")
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := r.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			// Won the claim: record the holder and start the heartbeat.
+			fmt.Fprintf(f, "pid %d\nstart %d\n", os.Getpid(), time.Now().Unix())
+			f.Sync()
+			f.Close()
+			l := &lease{r: r, path: path, stop: make(chan struct{}), done: make(chan struct{})}
+			go l.beat()
+			return l.release, true, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, false, fmt.Errorf("repo: claim %s: %w", path, err)
+		}
+		if !r.lockStale(path) {
+			r.claimWaits.Add(1)
+			return nil, false, nil
+		}
+		// Stale: rename-then-remove so exactly one contender retires this
+		// lock incarnation, then loop back to compete on O_EXCL.
+		tomb := fmt.Sprintf("%s.stale%d", path, os.Getpid())
+		if err := r.fs.Rename(path, tomb); err == nil {
+			r.fs.Remove(tomb)
+		}
+		// Losing the rename just means someone else retired it first; the
+		// next O_EXCL attempt decides the new holder either way.
+	}
+	// Three stale takeover rounds without winning: treat as contended and
+	// let the caller's poll loop come back.
+	r.claimWaits.Add(1)
+	return nil, false, nil
+}
+
+// lockStale reports whether the lock at path is abandoned: its holder
+// PID is dead, or its heartbeat mtime is older than the lease TTL (a
+// live-but-wedged holder whose heartbeat stopped counts as dead — the
+// TTL is the contract). A lock that vanished concurrently is "stale"
+// in the sense that the caller should re-compete immediately.
+func (r *Repo) lockStale(path string) bool {
+	info, err := r.fs.Stat(path)
+	if err != nil {
+		return errors.Is(err, fs.ErrNotExist)
+	}
+	if time.Since(info.ModTime()) > r.leaseTTL {
+		return true
+	}
+	if pid, ok := r.lockPID(path); ok && !pidAlive(pid) {
+		return true
+	}
+	return false
+}
+
+// lockPID reads the holder PID recorded in a lock file.
+func (r *Repo) lockPID(path string) (int, bool) {
+	f, err := r.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, "pid "); ok {
+			pid, err := strconv.Atoi(strings.TrimSpace(rest))
+			return pid, err == nil
+		}
+	}
+	return 0, false
+}
+
+// beat refreshes the lock file's mtime every heartbeat interval until
+// released, keeping the lease visibly alive to other processes during a
+// long training run.
+func (l *lease) beat() {
+	defer close(l.done)
+	t := time.NewTicker(l.r.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			l.r.fs.Chtimes(l.path, now, now)
+		}
+	}
+}
+
+// release ends the lease: the heartbeat stops and the lock file is
+// removed, waking any process polling for the key. Idempotent.
+func (l *lease) release() {
+	l.once.Do(func() { close(l.stop) })
+	<-l.done
+	l.r.fs.Remove(l.path)
+}

@@ -1,0 +1,151 @@
+package repo
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestClaimExclusive: a held claim blocks other claimants (same or
+// different Repo handle on the same directory) until released.
+func TestClaimExclusive(t *testing.T) {
+	dir := t.TempDir()
+	a := openT(t, dir, Options{})
+	b := openT(t, dir, Options{})
+
+	release, claimed, err := a.TryClaim("k")
+	if err != nil || !claimed {
+		t.Fatalf("first TryClaim = %v, %v", claimed, err)
+	}
+	if _, c2, err := b.TryClaim("k"); err != nil || c2 {
+		t.Fatalf("contended TryClaim = %v, %v; want false, nil", c2, err)
+	}
+	if st := b.Stats(); st.ClaimWaits != 1 {
+		t.Fatalf("claim waits = %d; want 1", st.ClaimWaits)
+	}
+	release()
+	r2, c3, err := b.TryClaim("k")
+	if err != nil || !c3 {
+		t.Fatalf("TryClaim after release = %v, %v", c3, err)
+	}
+	r2()
+}
+
+// TestClaimReleaseIdempotent: double release must not panic or disturb
+// a successor's lease.
+func TestClaimReleaseIdempotent(t *testing.T) {
+	r := openT(t, t.TempDir(), Options{})
+	release, claimed, err := r.TryClaim("k")
+	if err != nil || !claimed {
+		t.Fatal("claim failed")
+	}
+	release()
+	release()
+}
+
+// TestClaimStaleDeadPIDTakenOver: a lock left by a dead process (PID
+// that does not exist) is taken over immediately, without waiting out
+// the TTL.
+func TestClaimStaleDeadPIDTakenOver(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Options{LeaseTTL: time.Hour}) // TTL can't save us here
+	lock := r.Path("k") + ".lock"
+	// PID 0 never names a real process; the lock reads as dead-held.
+	if err := os.WriteFile(lock, []byte("pid 0\nstart 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, claimed, err := r.TryClaim("k")
+	if err != nil || !claimed {
+		t.Fatalf("TryClaim over dead-PID lock = %v, %v; want takeover", claimed, err)
+	}
+	release()
+}
+
+// TestClaimStaleHeartbeatTakenOver: a live-PID lock whose heartbeat
+// mtime is older than the TTL is treated as wedged and taken over.
+func TestClaimStaleHeartbeatTakenOver(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Options{LeaseTTL: 50 * time.Millisecond})
+	lock := r.Path("k") + ".lock"
+	// Our own (very alive) PID, but an ancient heartbeat.
+	if err := os.WriteFile(lock, fmt.Appendf(nil, "pid %d\nstart 0\n", os.Getpid()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	release, claimed, err := r.TryClaim("k")
+	if err != nil || !claimed {
+		t.Fatalf("TryClaim over stale-heartbeat lock = %v, %v; want takeover", claimed, err)
+	}
+	release()
+}
+
+// TestClaimHeartbeatKeepsLeaseFresh: a held lease heartbeats, so a
+// short TTL does not let contenders steal it while training runs long.
+func TestClaimHeartbeatKeepsLeaseFresh(t *testing.T) {
+	dir := t.TempDir()
+	a := openT(t, dir, Options{LeaseTTL: 80 * time.Millisecond, Heartbeat: 10 * time.Millisecond})
+	b := openT(t, dir, Options{LeaseTTL: 80 * time.Millisecond, Heartbeat: 10 * time.Millisecond})
+	release, claimed, err := a.TryClaim("k")
+	if err != nil || !claimed {
+		t.Fatal("claim failed")
+	}
+	defer release()
+	deadline := time.Now().Add(250 * time.Millisecond) // > 3 TTLs
+	for time.Now().Before(deadline) {
+		if _, stole, _ := b.TryClaim("k"); stole {
+			t.Fatal("contender stole a heartbeating lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClaimSingleWinnerUnderContention: many goroutines (standing in
+// for processes) race TryClaim on one key; exactly one may hold it at a
+// time. Run under -race.
+func TestClaimSingleWinnerUnderContention(t *testing.T) {
+	dir := t.TempDir()
+	var holders, maxHolders int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := Open(dir, Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				release, claimed, err := r.TryClaim("k")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !claimed {
+					continue
+				}
+				mu.Lock()
+				holders++
+				if holders > maxHolders {
+					maxHolders = holders
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				holders--
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxHolders != 1 {
+		t.Fatalf("max concurrent claim holders = %d; want 1", maxHolders)
+	}
+}

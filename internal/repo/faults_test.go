@@ -1,0 +1,148 @@
+package repo_test
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"github.com/rlplanner/rlplanner/internal/repo"
+	"github.com/rlplanner/rlplanner/internal/repo/repofault"
+)
+
+// The disk-fault matrix: every scripted filesystem fault must leave the
+// repository in a state the next boot scan fully recovers from — Put
+// reports the error, no torn entry is ever served, and intact entries
+// keep working. Run under -race via `make repofaults`.
+
+func openFault(t *testing.T, dir string, ffs *repofault.FS) *repo.Repo {
+	t.Helper()
+	r, err := repo.Open(dir, repo.Options{FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return r
+}
+
+// TestPutENOSPC: the disk fills mid-write (short write + ENOSPC). Put
+// fails, nothing is served under the key, and the repository keeps
+// working once space is back.
+func TestPutENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := repofault.New()
+	r := openFault(t, dir, ffs)
+	if err := r.Put("pre", []byte("pre-existing")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailWithENOSPC(7)
+	err := r.Put("k", []byte("a payload much longer than seven bytes"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put under ENOSPC = %v; want ENOSPC", err)
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("short-written entry served")
+	}
+	if got, ok := r.Get("pre"); !ok || string(got) != "pre-existing" {
+		t.Fatalf("intact entry lost under ENOSPC: %q %v", got, ok)
+	}
+	// Space returns: the same key writes and serves normally.
+	if err := r.Put("k", []byte("second attempt")); err != nil {
+		t.Fatalf("Put after ENOSPC cleared = %v", err)
+	}
+	if got, ok := r.Get("k"); !ok || string(got) != "second attempt" {
+		t.Fatalf("Get after recovery = %q %v", got, ok)
+	}
+}
+
+// TestPutKilledMidWrite is the crash-consistency core: the process
+// "dies" with a partial temp file on disk (cleanup suppressed, rename
+// never runs). A new process opening the directory sweeps the debris,
+// serves every intact entry, and only the lost key needs retraining.
+func TestPutKilledMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := repofault.New()
+	r := openFault(t, dir, ffs)
+	if err := r.Put("survivor", []byte("fully persisted")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.KillAfter(11)
+	if err := r.Put("victim", []byte("this write never completes")); !errors.Is(err, repofault.ErrKilled) {
+		t.Fatalf("Put under kill = %v; want ErrKilled", err)
+	}
+	// The "dead" process left a partial temp file behind.
+	debris := 0
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			debris++
+		}
+	}
+	if debris != 1 {
+		t.Fatalf("temp debris after kill = %d; want 1", debris)
+	}
+
+	// "Restart": a fresh process on the real filesystem.
+	r2, err := repo.Open(dir, repo.Options{})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	ents, _ = os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("boot scan left debris %s", e.Name())
+		}
+	}
+	if _, ok := r2.Get("victim"); ok {
+		t.Fatal("killed write produced a servable entry")
+	}
+	if got, ok := r2.Get("survivor"); !ok || string(got) != "fully persisted" {
+		t.Fatalf("survivor lost across the crash: %q %v", got, ok)
+	}
+	// Only the lost key retrains: its slot accepts a fresh write.
+	if err := r2.Put("victim", []byte("retrained")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r2.Get("victim"); !ok || string(got) != "retrained" {
+		t.Fatalf("retrained entry = %q %v", got, ok)
+	}
+}
+
+// TestPutRenameFailure: a failed final rename reports the error and
+// leaves no servable or stray state behind after the next boot.
+func TestPutRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	ffs := repofault.New()
+	r := openFault(t, dir, ffs)
+	ffs.FailNextRename()
+	if err := r.Put("k", []byte("v")); err == nil {
+		t.Fatal("Put with failed rename reported success")
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("entry served despite failed rename")
+	}
+	r2, err := repo.Open(dir, repo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r2.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after failed rename = %d; want 0", st.Entries)
+	}
+}
+
+// TestPutSyncFailure: a failed fsync must fail the Put — reporting
+// success for bytes that may not be durable is the bug this protocol
+// exists to prevent.
+func TestPutSyncFailure(t *testing.T) {
+	ffs := repofault.New()
+	r := openFault(t, t.TempDir(), ffs)
+	ffs.FailNextSync()
+	if err := r.Put("k", []byte("v")); err == nil {
+		t.Fatal("Put with failed fsync reported success")
+	}
+	if st := r.Stats(); st.Writes != 0 {
+		t.Fatalf("writes counter = %d after failed fsync; want 0", st.Writes)
+	}
+}

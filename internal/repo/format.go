@@ -1,0 +1,185 @@
+// Entry encoding and the crash-safe write protocol. An entry file is
+//
+//	[payload bytes][key bytes][64-byte footer]
+//
+// with the footer carrying the format magic, the lengths and a CRC32 +
+// SHA-256 of the payload. The footer sits at the *end* of the file, so a
+// truncated or torn write — the only partial state a crash can leave
+// once writes go through temp-file + fsync + atomic rename — is
+// detectable from the last 64 bytes alone: either the footer is missing,
+// or its lengths disagree with the file size, or a checksum fails.
+package repo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	// footerMagic identifies a complete repository entry. It is the last
+	// field written, so its presence implies the writer reached the end.
+	footerMagic = "RLPREPO1"
+	// formatVersion is the entry format version; readers refuse newer.
+	formatVersion = 1
+	// footerSize is the fixed on-disk footer length:
+	// magic(8) + version(4) + keyLen(4) + payloadLen(8) + crc32(4) +
+	// pad(4) + sha256(32).
+	footerSize = 64
+)
+
+// footer is the decoded trailer of an entry file.
+type footer struct {
+	version    uint32
+	keyLen     uint32
+	payloadLen uint64
+	crc        uint32
+	sum        [32]byte
+}
+
+// appendFooter encodes f after the payload+key bytes.
+func appendFooter(buf []byte, f footer) []byte {
+	buf = append(buf, footerMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, f.version)
+	buf = binary.LittleEndian.AppendUint32(buf, f.keyLen)
+	buf = binary.LittleEndian.AppendUint64(buf, f.payloadLen)
+	buf = binary.LittleEndian.AppendUint32(buf, f.crc)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // pad
+	buf = append(buf, f.sum[:]...)
+	return buf
+}
+
+// parseFooter decodes the last footerSize bytes of an entry.
+func parseFooter(b []byte) (footer, error) {
+	var f footer
+	if len(b) != footerSize {
+		return f, fmt.Errorf("repo: footer is %d bytes, want %d", len(b), footerSize)
+	}
+	if string(b[:8]) != footerMagic {
+		return f, fmt.Errorf("repo: bad footer magic %q", b[:8])
+	}
+	f.version = binary.LittleEndian.Uint32(b[8:12])
+	if f.version > formatVersion {
+		return f, fmt.Errorf("repo: entry format v%d is newer than supported v%d", f.version, formatVersion)
+	}
+	f.keyLen = binary.LittleEndian.Uint32(b[12:16])
+	f.payloadLen = binary.LittleEndian.Uint64(b[16:24])
+	f.crc = binary.LittleEndian.Uint32(b[24:28])
+	copy(f.sum[:], b[32:64])
+	return f, nil
+}
+
+// encodeEntry renders a complete entry file for key+payload.
+func encodeEntry(key string, payload []byte) []byte {
+	f := footer{
+		version:    formatVersion,
+		keyLen:     uint32(len(key)),
+		payloadLen: uint64(len(payload)),
+		crc:        crc32.ChecksumIEEE(payload),
+		sum:        sha256.Sum256(payload),
+	}
+	buf := make([]byte, 0, len(payload)+len(key)+footerSize)
+	buf = append(buf, payload...)
+	buf = append(buf, key...)
+	return appendFooter(buf, f)
+}
+
+// decodeEntry verifies a raw entry file and returns its key and payload.
+// Any inconsistency — missing/foreign footer, length mismatch against
+// the actual file size, checksum failure — is an error; callers
+// quarantine on it.
+func decodeEntry(raw []byte) (key string, payload []byte, err error) {
+	if len(raw) < footerSize {
+		return "", nil, fmt.Errorf("repo: entry truncated to %d bytes (shorter than the %d-byte footer)", len(raw), footerSize)
+	}
+	f, err := parseFooter(raw[len(raw)-footerSize:])
+	if err != nil {
+		return "", nil, err
+	}
+	want := int(f.payloadLen) + int(f.keyLen) + footerSize
+	if f.payloadLen > uint64(len(raw)) || want != len(raw) {
+		return "", nil, fmt.Errorf("repo: entry is %d bytes but footer declares %d payload + %d key", len(raw), f.payloadLen, f.keyLen)
+	}
+	payload = raw[:f.payloadLen]
+	key = string(raw[f.payloadLen : f.payloadLen+uint64(f.keyLen)])
+	if got := crc32.ChecksumIEEE(payload); got != f.crc {
+		return "", nil, fmt.Errorf("repo: payload CRC32 mismatch (stored %08x, computed %08x)", f.crc, got)
+	}
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], f.sum[:]) {
+		return "", nil, fmt.Errorf("repo: payload SHA-256 mismatch")
+	}
+	return key, payload, nil
+}
+
+// writeEntry runs the crash-safe write protocol: encode into a
+// process-unique temp file in the same directory, fsync it, atomically
+// rename it over the final name, then fsync the directory so the rename
+// itself is durable. A crash at any point leaves either the old entry,
+// the new entry, or a stray temp file the next boot scan removes —
+// never a partial final file.
+func (r *Repo) writeEntry(name, key string, payload []byte) error {
+	final := filepath.Join(r.dir, name)
+	tmp := fmt.Sprintf("%s.tmp%d", final, os.Getpid())
+	f, err := r.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repo: create %s: %w", tmp, err)
+	}
+	raw := encodeEntry(key, payload)
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repo: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repo: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repo: close %s: %w", tmp, err)
+	}
+	if err := r.fs.Rename(tmp, final); err != nil {
+		r.fs.Remove(tmp)
+		return fmt.Errorf("repo: rename %s: %w", final, err)
+	}
+	r.syncDir()
+	return nil
+}
+
+// readEntry reads and verifies the named entry file.
+func (r *Repo) readEntry(name string) (key string, payload []byte, err error) {
+	path := filepath.Join(r.dir, name)
+	f, err := r.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("repo: read %s: %w", path, err)
+	}
+	key, payload, err = decodeEntry(raw)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return key, payload, nil
+}
+
+// syncDir fsyncs the repository directory so a just-completed rename
+// survives power loss. Best-effort: some filesystems refuse directory
+// fsync, and the rename itself already ordered correctly on the ones
+// that matter.
+func (r *Repo) syncDir() {
+	d, err := r.fs.OpenFile(r.dir, os.O_RDONLY, 0)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package repo
+
+// pidAlive conservatively reports true where PID liveness cannot be
+// probed; stale leases are then detected by heartbeat age alone.
+func pidAlive(int) bool { return true }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package repo
+
+import "syscall"
+
+// pidAlive reports whether a process with the given PID exists (signal
+// 0 probes existence without delivering anything). EPERM means the
+// process exists but belongs to someone else — alive for lease
+// purposes.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}

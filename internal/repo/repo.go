@@ -1,0 +1,250 @@
+// Package repo is the durable policy tier: a content-addressed,
+// crash-safe artifact repository shared by every process pointing at one
+// directory. It turns the serving daemon from a per-process cache into a
+// fleet — a restart warm-boots from disk instead of retraining, and N
+// replicas sharing one -policy-dir train each policy exactly once (the
+// claim protocol in claim.go).
+//
+// Robustness is the design center:
+//
+//   - Writes are crash-safe: temp file + fsync + atomic rename + dir
+//     fsync, so a crash leaves the old entry, the new entry or a stray
+//     temp file — never a torn final file (format.go).
+//   - Every entry carries a CRC32 + SHA-256 footer. Reads verify it; the
+//     boot-time warm scan verifies every entry and quarantines corrupt
+//     or truncated ones to *.bad instead of crashing or serving them.
+//   - Repository faults never fail serving: a broken disk degrades to
+//     the training path, counted, not crashed.
+//
+// Entries are addressed by an opaque key (the serving layer uses the
+// policy-store key plus the catalog fingerprint); the file name is a
+// SHA-256 prefix of the key, so any process computes the same address
+// with no shared index.
+package repo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Default lease parameters for the cross-process claim protocol.
+const (
+	// DefaultLeaseTTL is how stale a claim's heartbeat may grow before
+	// another process takes the lease over.
+	DefaultLeaseTTL = 10 * time.Second
+)
+
+// Options configure a repository.
+type Options struct {
+	// LeaseTTL is the claim-staleness horizon (DefaultLeaseTTL when 0):
+	// a lock file whose heartbeat mtime is older than this is considered
+	// abandoned and taken over.
+	LeaseTTL time.Duration
+	// Heartbeat is how often a held lease refreshes its lock-file mtime
+	// (LeaseTTL/4 when 0).
+	Heartbeat time.Duration
+	// FS substitutes the filesystem (tests inject disk faults); nil uses
+	// the process filesystem.
+	FS FS
+}
+
+// Stats is a point-in-time view of the repository counters.
+type Stats struct {
+	// Hits / Misses count Get outcomes (a corrupt entry counts as a miss
+	// after it is quarantined).
+	Hits, Misses uint64
+	// Writes counts successfully persisted entries.
+	Writes uint64
+	// Quarantined counts entries moved aside as *.bad — at the boot scan
+	// or when a read found corruption.
+	Quarantined uint64
+	// ClaimWaits counts TryClaim calls that found another process
+	// holding the training claim.
+	ClaimWaits uint64
+	// Entries is the number of verified entries the boot scan found.
+	Entries int
+}
+
+// Repo is a durable artifact repository rooted at one directory. All
+// methods are safe for concurrent use within a process; cross-process
+// coordination goes through the claim protocol and atomic renames.
+type Repo struct {
+	dir string
+	fs  FS
+
+	leaseTTL  time.Duration
+	heartbeat time.Duration
+
+	hits, misses, writes, quarantined, claimWaits atomic.Uint64
+	scanned                                       atomic.Int64
+}
+
+// Open roots a repository at dir (created if absent) and runs the
+// boot-time warm scan: every entry file is checksum-verified, corrupt or
+// truncated ones are quarantined to *.bad, and crash-leftover temp files
+// are removed. The scan never fails open — a directory full of garbage
+// yields an empty, working repository and a quarantine count.
+func Open(dir string, opts Options) (*Repo, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	hb := opts.Heartbeat
+	if hb <= 0 {
+		hb = ttl / 4
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repo: create %s: %w", dir, err)
+	}
+	r := &Repo{dir: dir, fs: fsys, leaseTTL: ttl, heartbeat: hb}
+	if err := r.scan(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Dir returns the repository root.
+func (r *Repo) Dir() string { return r.dir }
+
+// entryName is the content address of key: a SHA-256 prefix, so every
+// process resolves the same key to the same file with no coordination.
+func entryName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:12]) + ".pol"
+}
+
+// Path returns the entry file a key resolves to (whether or not it
+// exists) — error-context material for callers.
+func (r *Repo) Path(key string) string {
+	return filepath.Join(r.dir, entryName(key))
+}
+
+// scan is the boot-time warm pass over the directory. It must never
+// crash the process: unreadable and corrupt entries are quarantined and
+// counted, stray temp files removed, lock and quarantine files left
+// alone.
+func (r *Repo) scan() error {
+	ents, err := r.fs.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("repo: scan %s: %w", r.dir, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.Contains(name, ".tmp"):
+			// A crash between create and rename leaves a temp file; the
+			// rename never happened, so nothing references it.
+			r.fs.Remove(filepath.Join(r.dir, name))
+		case strings.HasSuffix(name, ".pol"):
+			if _, _, err := r.readEntry(name); err != nil {
+				r.quarantineFile(name)
+				continue
+			}
+			r.scanned.Add(1)
+		}
+	}
+	return nil
+}
+
+// Get loads and verifies the entry for key. A missing entry is a plain
+// miss; a corrupt one is quarantined and reported as a miss — the
+// caller retrains and the bad bytes never reach serving.
+func (r *Repo) Get(key string) ([]byte, bool) {
+	name := entryName(key)
+	storedKey, payload, err := r.readEntry(name)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			r.quarantineFile(name)
+		}
+		r.misses.Add(1)
+		return nil, false
+	}
+	if storedKey != key {
+		// A content-address collision or a foreign file copied into place:
+		// either way this entry is not the requested policy.
+		r.quarantineFile(name)
+		r.misses.Add(1)
+		return nil, false
+	}
+	r.hits.Add(1)
+	return payload, true
+}
+
+// Put durably stores payload under key (write-through from a completed
+// training run), replacing any previous entry atomically.
+func (r *Repo) Put(key string, payload []byte) error {
+	if err := r.writeEntry(entryName(key), key, payload); err != nil {
+		return err
+	}
+	r.writes.Add(1)
+	return nil
+}
+
+// Quarantine moves key's entry aside as *.bad so it can never be served
+// or reloaded again; operators can inspect or delete the file. Reports
+// whether an entry was present.
+func (r *Repo) Quarantine(key string) bool {
+	return r.quarantineFile(entryName(key))
+}
+
+func (r *Repo) quarantineFile(name string) bool {
+	src := filepath.Join(r.dir, name)
+	if err := r.fs.Rename(src, src+".bad"); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false
+		}
+		// A rename that fails for other reasons must still get the bad
+		// entry out of the address space: fall back to removal.
+		if err := r.fs.Remove(src); err != nil {
+			return false
+		}
+	}
+	r.quarantined.Add(1)
+	r.syncDir()
+	return true
+}
+
+// Keys lists the keys of every verified entry currently in the
+// repository (the preload/warm surface; order is the directory's).
+func (r *Repo) Keys() []string {
+	ents, err := r.fs.ReadDir(r.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pol") {
+			continue
+		}
+		if key, _, err := r.readEntry(e.Name()); err == nil {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Stats returns the cumulative repository counters.
+func (r *Repo) Stats() Stats {
+	return Stats{
+		Hits:        r.hits.Load(),
+		Misses:      r.misses.Load(),
+		Writes:      r.writes.Load(),
+		Quarantined: r.quarantined.Load(),
+		ClaimWaits:  r.claimWaits.Load(),
+		Entries:     int(r.scanned.Load()),
+	}
+}

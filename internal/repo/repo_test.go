@@ -1,0 +1,257 @@
+package repo
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Repo {
+	t.Helper()
+	r, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s) = %v", dir, err)
+	}
+	return r
+}
+
+// listSuffix returns the directory entries with the given suffix.
+func listSuffix(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), suffix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Options{})
+	payload := []byte("the artifact bytes")
+	if err := r.Put("key-a", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := r.Get("key-a")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if _, ok := r.Get("key-b"); ok {
+		t.Fatal("Get of absent key reported a hit")
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 write", st)
+	}
+	// No temp or lock debris after a clean write.
+	if tmp := listSuffix(t, dir, ""); len(tmp) != 1 {
+		t.Fatalf("dir holds %v; want exactly the entry file", tmp)
+	}
+}
+
+func TestPutReplacesAtomically(t *testing.T) {
+	r := openT(t, t.TempDir(), Options{})
+	if err := r.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get("k")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+}
+
+// TestGetSurvivesCrossProcessWrite: a second repo on the same directory
+// sees entries the first wrote after both opened — Get goes to disk,
+// not to a process-local index.
+func TestGetSurvivesCrossProcessWrite(t *testing.T) {
+	dir := t.TempDir()
+	a := openT(t, dir, Options{})
+	b := openT(t, dir, Options{})
+	if err := a.Put("shared", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Get("shared"); !ok || string(got) != "payload" {
+		t.Fatalf("second repo Get = %q, %v", got, ok)
+	}
+}
+
+// TestBootScanQuarantinesCorruptEntry: a flipped payload byte must send
+// the entry to *.bad at Open, leave intact entries served, and never
+// error.
+func TestBootScanQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Options{})
+	if err := r.Put("good", []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("bad", []byte("bad payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte in place.
+	path := r.Path("bad")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openT(t, dir, Options{})
+	st := r2.Stats()
+	if st.Quarantined != 1 || st.Entries != 1 {
+		t.Fatalf("boot scan stats = %+v; want 1 quarantined, 1 entry", st)
+	}
+	if bad := listSuffix(t, dir, ".bad"); len(bad) != 1 {
+		t.Fatalf("quarantine files = %v; want one *.bad", bad)
+	}
+	if _, ok := r2.Get("bad"); ok {
+		t.Fatal("corrupt entry still served after quarantine")
+	}
+	if got, ok := r2.Get("good"); !ok || string(got) != "good payload" {
+		t.Fatalf("intact entry lost: %q, %v", got, ok)
+	}
+}
+
+// TestBootScanQuarantinesTruncatedEntry covers the torn-write shape: a
+// final file cut short anywhere (even inside the footer).
+func TestBootScanQuarantinesTruncatedEntry(t *testing.T) {
+	for _, keep := range []int{0, 10, footerSize - 1} {
+		dir := t.TempDir()
+		r := openT(t, dir, Options{})
+		if err := r.Put("k", []byte("a payload long enough to truncate meaningfully")); err != nil {
+			t.Fatal(err)
+		}
+		path := r.Path("k")
+		if err := os.Truncate(path, int64(keep)); err != nil {
+			t.Fatal(err)
+		}
+		r2 := openT(t, dir, Options{})
+		if st := r2.Stats(); st.Quarantined != 1 {
+			t.Fatalf("keep=%d: stats = %+v; want 1 quarantined", keep, st)
+		}
+		if _, ok := r2.Get("k"); ok {
+			t.Fatalf("keep=%d: truncated entry served", keep)
+		}
+	}
+}
+
+// TestBootScanRemovesTempDebris: crash leftovers between create and
+// rename are swept at Open.
+func TestBootScanRemovesTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "deadbeef.pol.tmp1234")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openT(t, dir, Options{})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("temp debris survived the boot scan: %v", err)
+	}
+}
+
+// TestGetQuarantinesCorruptionFoundAfterBoot: corruption that appears
+// after the scan (bit rot, external truncation) is caught by the read
+// path's checksum and quarantined there.
+func TestGetQuarantinesCorruptionFoundAfterBoot(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Options{})
+	if err := r.Put("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(r.Path("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01 // corrupt the stored SHA-256
+	if err := os.WriteFile(r.Path("k"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if st := r.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v; want 1 quarantined", st)
+	}
+	// The quarantined entry is out of the address space: a fresh Put/Get
+	// works again.
+	if err := r.Put("k", []byte("payload2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Get("k"); !ok || string(got) != "payload2" {
+		t.Fatalf("Get after re-put = %q, %v", got, ok)
+	}
+}
+
+func TestQuarantineByKey(t *testing.T) {
+	dir := t.TempDir()
+	r := openT(t, dir, Options{})
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Quarantine("k") {
+		t.Fatal("Quarantine of present key = false")
+	}
+	if r.Quarantine("k") {
+		t.Fatal("Quarantine of absent key = true")
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("quarantined key served")
+	}
+}
+
+func TestKeysListsVerifiedEntries(t *testing.T) {
+	r := openT(t, t.TempDir(), Options{})
+	for _, k := range []string{"alpha", "beta"} {
+		if err := r.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := r.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v; want 2", keys)
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if !seen["alpha"] || !seen["beta"] {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestDecodeEntryRejectsForeignBytes(t *testing.T) {
+	for name, raw := range map[string][]byte{
+		"empty":     nil,
+		"garbage":   []byte("not an entry at all, just some text"),
+		"bad magic": append(make([]byte, 100), []byte("WRONGMAG")...),
+	} {
+		if _, _, err := decodeEntry(raw); err == nil {
+			t.Errorf("%s: decodeEntry accepted", name)
+		}
+	}
+}
+
+func TestOpenDefaultsLease(t *testing.T) {
+	r := openT(t, t.TempDir(), Options{})
+	if r.leaseTTL != DefaultLeaseTTL || r.heartbeat != DefaultLeaseTTL/4 {
+		t.Fatalf("defaults = ttl %v, hb %v", r.leaseTTL, r.heartbeat)
+	}
+	r2 := openT(t, t.TempDir(), Options{LeaseTTL: time.Second})
+	if r2.leaseTTL != time.Second || r2.heartbeat != 250*time.Millisecond {
+		t.Fatalf("custom = ttl %v, hb %v", r2.leaseTTL, r2.heartbeat)
+	}
+}

@@ -1,0 +1,194 @@
+// Package repofault provides an injectable filesystem for exercising
+// the policy repository's crash-safety claims: short writes, ENOSPC,
+// failed fsync/rename, and kill-mid-write (the process "dies" with a
+// partial temp file on disk). It wraps the real filesystem, so every
+// fault leaves genuine on-disk state for the next boot scan to recover
+// from — the disk-fault counterpart of resilience/faultinject.
+//
+// Test-only by convention: nothing outside _test files imports it.
+package repofault
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/rlplanner/rlplanner/internal/repo"
+)
+
+// ErrKilled marks an operation cut short by a scripted kill-mid-write:
+// the write protocol observes an error, but unlike ENOSPC the partial
+// bytes stay on disk, exactly like a process killed between write and
+// rename.
+var ErrKilled = errors.New("repofault: scripted kill mid-write")
+
+// FS wraps the process filesystem with scriptable faults. The zero
+// value passes everything through. All methods are safe for concurrent
+// use.
+type FS struct {
+	mu sync.Mutex
+	// failWritesAfter: >= 0 means every Write beyond that many bytes
+	// (cumulative per file) fails with ENOSPC after a short write.
+	enospcAfter int
+	enospcArmed bool
+	// killAfter: >= 0 means the file's Write stops persisting at that
+	// cumulative byte count and returns ErrKilled; Remove of the partial
+	// file is suppressed so it stays behind like after a real SIGKILL.
+	killAfter int
+	killArmed bool
+	killed    bool
+	// failRename / failSync fail the next matching call once.
+	failRename bool
+	failSync   bool
+}
+
+// New returns a pass-through fault filesystem.
+func New() *FS { return &FS{} }
+
+// FailWithENOSPC arms ENOSPC: the next opened file accepts n bytes,
+// then every further write fails with syscall.ENOSPC (a short write).
+func (f *FS) FailWithENOSPC(n int) {
+	f.mu.Lock()
+	f.enospcArmed, f.enospcAfter = true, n
+	f.mu.Unlock()
+}
+
+// KillAfter arms kill-mid-write: the next opened file persists n bytes
+// and then "dies" — the writer sees ErrKilled, the partial file stays
+// on disk, and subsequent cleanup removals of it are suppressed, as
+// they would be for a killed process.
+func (f *FS) KillAfter(n int) {
+	f.mu.Lock()
+	f.killArmed, f.killAfter, f.killed = true, n, false
+	f.mu.Unlock()
+}
+
+// FailNextRename makes the next Rename fail with EIO.
+func (f *FS) FailNextRename() {
+	f.mu.Lock()
+	f.failRename = true
+	f.mu.Unlock()
+}
+
+// FailNextSync makes the next file Sync fail with EIO.
+func (f *FS) FailNextSync() {
+	f.mu.Lock()
+	f.failSync = true
+	f.mu.Unlock()
+}
+
+// Reset disarms every scripted fault.
+func (f *FS) Reset() {
+	f.mu.Lock()
+	f.enospcArmed, f.killArmed, f.killed = false, false, false
+	f.failRename, f.failSync = false, false
+	f.mu.Unlock()
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (repo.File, error) {
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&(os.O_WRONLY|os.O_RDWR) == 0 {
+		return file, nil // faults target the write protocol
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ff := &faultFile{File: file, fs: f}
+	if f.enospcArmed {
+		ff.enospc, ff.budget = true, f.enospcAfter
+		f.enospcArmed = false
+	}
+	if f.killArmed {
+		ff.kill, ff.budget = true, f.killAfter
+		f.killArmed = false
+	}
+	return ff, nil
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	fail := f.failRename
+	f.failRename = false
+	killed := f.killed
+	f.mu.Unlock()
+	if fail {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: syscall.EIO}
+	}
+	if killed {
+		// The process is "dead": nothing after the kill point happens.
+		return ErrKilled
+	}
+	return os.Rename(oldname, newname)
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	killed := f.killed
+	f.mu.Unlock()
+	if killed {
+		// Suppress post-kill cleanup so the partial temp file survives
+		// like it would a real crash.
+		return ErrKilled
+	}
+	return os.Remove(name)
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (f *FS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (f *FS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+// faultFile meters writes against the armed fault budget.
+type faultFile struct {
+	*os.File
+	fs      *FS
+	budget  int
+	written int
+	enospc  bool
+	kill    bool
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if !f.enospc && !f.kill {
+		return f.File.Write(p)
+	}
+	room := f.budget - f.written
+	if room < 0 {
+		room = 0
+	}
+	if room >= len(p) {
+		n, err := f.File.Write(p)
+		f.written += n
+		return n, err
+	}
+	// Short write up to the budget, then the fault.
+	n, _ := f.File.Write(p[:room])
+	f.written += n
+	if f.kill {
+		f.File.Sync()
+		f.fs.mu.Lock()
+		f.fs.killed = true
+		f.fs.mu.Unlock()
+		return n, ErrKilled
+	}
+	return n, syscall.ENOSPC
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	fail := f.fs.failSync
+	f.fs.failSync = false
+	f.fs.mu.Unlock()
+	if fail {
+		return syscall.EIO
+	}
+	return f.File.Sync()
+}
