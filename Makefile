@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/experiments/... ./internal/mdp/... ./internal/sarsa/... .
 # plus the daemon's signal-drain tests.
 FAULT_PKGS = ./internal/resilience/... ./internal/httpapi/ ./cmd/rlplannerd/
 
-.PHONY: check vet build test race faults repofaults bench-hot bench-json servebench trainbench userbench scalebench
+.PHONY: check vet build test race faults repofaults bench-hot bench-json servebench trainbench userbench scalebench mcbench
 
 check: vet build test race faults
 
@@ -55,6 +55,15 @@ bench-json:
 # purpose.
 servebench:
 	$(GO) run ./cmd/benchharness -serve -serve-baseline results/BENCH_serve.json -benchjson /tmp/rlplanner-servebench
+
+# Multi-core scaling bench: the serve phase reruns at GOMAXPROCS
+# 1/2/4/8 with mutex/block profiling on, recording req/s, latency and
+# scaling efficiency per point (DESIGN §16). On a ≥4-core host the run
+# fails when 4-proc throughput is below 2.5x the 1-proc figure — the
+# contention gate for the sharded read path; on smaller hosts the gate
+# reports a skip (the sweep still runs, measuring oversubscription).
+mcbench:
+	$(GO) run ./cmd/benchharness -serve -serve-sweep -serve-sweep-duration 2s -serve-baseline results/BENCH_serve.json -benchjson /tmp/rlplanner-mcbench
 
 # Training-throughput bench (cold-train scaling over worker counts plus
 # one warm-start derivation), gated against the committed record: a >2x

@@ -8,6 +8,7 @@
 //	             [-workers 0] [-benchjson dir] [-list-engines]
 //	             [-serve] [-serve-instance name] [-serve-conc 0]
 //	             [-serve-duration 3s] [-serve-batch 64] [-serve-baseline file]
+//	             [-serve-sweep] [-serve-sweep-duration 2s] [-serve-scaling-min 2.5]
 //	             [-train] [-train-instance name] [-train-perturb 5]
 //	             [-train-runs 3] [-train-baseline file]
 //	             [-scale] [-scale-sizes 4096,16384,50000,100000]
@@ -23,7 +24,12 @@
 // then drives concurrent /api/plan (and /api/plan/batch) clients and
 // reports p50/p99 latency, throughput and allocs per request. With
 // -benchjson it writes BENCH_serve.json; with -serve-baseline it fails
-// on a >2x p99 regression against a committed record.
+// on a >2x p99 regression against a committed record. -serve-sweep adds
+// a multi-core scaling phase: the plan phase reruns at GOMAXPROCS
+// 1/2/4/8 with mutex/block profiling on, recording req/s, latency,
+// scaling efficiency and the hottest contention frames; on a ≥4-core
+// host the run fails when 4-proc throughput is below -serve-scaling-min
+// × the 1-proc figure (the gate reports a skip on smaller hosts).
 //
 // -train switches the harness into training-throughput mode: it
 // cold-trains the SARSA engine at 1/2/4/8 walkers (best-of -train-runs
@@ -103,6 +109,10 @@ func main() {
 		serveBatch    = flag.Int("serve-batch", 64, "plans per /api/plan/batch request for -serve (0 = skip the batch phase)")
 		serveBaseline = flag.String("serve-baseline", "", "committed BENCH_serve.json to gate against (>2x p99 regression fails)")
 
+		serveSweep         = flag.Bool("serve-sweep", false, "with -serve: rerun the plan phase at GOMAXPROCS 1/2/4/8 and record scaling + contention profiles")
+		serveSweepDuration = flag.Duration("serve-sweep-duration", 2*time.Second, "timed phase length per GOMAXPROCS setting of -serve-sweep")
+		serveScalingMin    = flag.Float64("serve-scaling-min", 2.5, "minimum 4-proc/1-proc throughput ratio for the sweep gate (0 = no gate; skipped on <4-core hosts)")
+
 		train         = flag.Bool("train", false, "training-throughput mode: benchmark cold-train scaling and warm-start derivation, then exit")
 		trainInstance = flag.String("train-instance", "Univ-1 M.S. DS-CT", "instance for -train")
 		trainPerturb  = flag.Int("train-perturb", 5, "catalog items renamed for the warm-start phase of -train")
@@ -136,13 +146,15 @@ func main() {
 			conc = runtime.GOMAXPROCS(0)
 		}
 		rec, err := serveBench(serveConfig{
-			Instance: *serveInstance,
-			Engine:   *serveEngine,
-			Episodes: *episodes,
-			Seed:     *seed,
-			Conc:     conc,
-			Duration: *serveDuration,
-			Batch:    *serveBatch,
+			Instance:      *serveInstance,
+			Engine:        *serveEngine,
+			Episodes:      *episodes,
+			Seed:          *seed,
+			Conc:          conc,
+			Duration:      *serveDuration,
+			Batch:         *serveBatch,
+			Sweep:         *serveSweep,
+			SweepDuration: *serveSweepDuration,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -153,6 +165,20 @@ func main() {
 			time.Duration(rec.P50Ns), time.Duration(rec.P99Ns), rec.AllocsOp)
 		if rec.BatchSize > 0 {
 			fmt.Printf("serve: batch(%d): %.0f plans/s\n", rec.BatchSize, rec.BatchReqPerSec)
+		}
+		for _, pt := range rec.Sweep {
+			fmt.Printf("serve: sweep GOMAXPROCS=%d (%d clients): %.0f req/s, p50 %s, p99 %s, efficiency %.2f\n",
+				pt.GOMAXPROCS, pt.Conc, pt.ReqPerSec,
+				time.Duration(pt.P50Ns), time.Duration(pt.P99Ns), pt.Efficiency)
+		}
+		if len(rec.Sweep) > 0 {
+			fmt.Printf("serve: sweep 4-proc scaling %.2fx on a %d-core host\n", rec.Scaling4x, rec.NumCPU)
+			for _, top := range rec.MutexTop {
+				fmt.Printf("serve: mutex hot: %s\n", top)
+			}
+			for _, top := range rec.BlockTop {
+				fmt.Printf("serve: block hot: %s\n", top)
+			}
 		}
 		if rec.WarmBootNs > 0 {
 			fmt.Printf("serve: time-to-first-plan: cold boot %s (train+persist), repo-warm boot %s (%.1fx)\n",
@@ -167,6 +193,12 @@ func main() {
 		}
 		if *serveBaseline != "" {
 			if err := checkServeBaseline(*serveBaseline, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *serveSweep {
+			if err := checkScalingGate(rec, *serveScalingMin); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -9,7 +9,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +28,11 @@ type serveConfig struct {
 	Conc     int
 	Duration time.Duration
 	Batch    int
+	// Sweep enables the GOMAXPROCS scaling phase: the timed plan phase
+	// repeats at GOMAXPROCS 1/2/4/8 (SweepDuration each) with mutex and
+	// block profiling on, recording throughput scaling efficiency.
+	Sweep         bool
+	SweepDuration time.Duration
 }
 
 // serveRecord is the machine-readable serving-perf record written as
@@ -56,6 +64,31 @@ type serveRecord struct {
 	// is the restart-without-retrain win.
 	ColdBootNs int64 `json:"cold_boot_ns,omitempty"`
 	WarmBootNs int64 `json:"warm_boot_ns,omitempty"`
+	// Sweep phase: the same timed plan phase at GOMAXPROCS 1/2/4/8.
+	// NumCPU is the host's core count — efficiency numbers past it
+	// measure oversubscription, not scaling, and the 4-core gate skips
+	// below it. Scaling4x is sweep[GOMAXPROCS=4] throughput over
+	// sweep[GOMAXPROCS=1]. MutexTop/BlockTop are the hottest non-runtime
+	// frames from the contention profiles captured across the sweep.
+	NumCPU    int          `json:"num_cpu,omitempty"`
+	Sweep     []sweepPoint `json:"sweep,omitempty"`
+	Scaling4x float64      `json:"scaling_4x,omitempty"`
+	MutexTop  []string     `json:"mutex_top,omitempty"`
+	BlockTop  []string     `json:"block_top,omitempty"`
+}
+
+// sweepPoint is one GOMAXPROCS setting of the scaling sweep.
+// Efficiency is req/s divided by (single-proc req/s × procs): 1.0 is
+// perfect linear scaling, and a read path serializing on a global lock
+// shows up as efficiency collapsing toward 1/procs.
+type sweepPoint struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Conc       int     `json:"conc"`
+	Requests   int     `json:"requests"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	Efficiency float64 `json:"efficiency"`
 }
 
 // serveBench stands up the live HTTP serving stack (the same handler
@@ -87,7 +120,9 @@ func serveBench(cfg serveConfig) (serveRecord, error) {
 	}
 	client := srv.Client()
 	if tr, ok := client.Transport.(*http.Transport); ok {
-		tr.MaxIdleConnsPerHost = cfg.Conc + 1
+		// Enough idle conns for the main phase and the widest sweep
+		// setting (2×8 clients at GOMAXPROCS=8).
+		tr.MaxIdleConnsPerHost = max(cfg.Conc, 16) + 1
 	}
 
 	post := func(path string, body []byte) (int, error) {
@@ -117,12 +152,54 @@ func serveBench(cfg serveConfig) (serveRecord, error) {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
-	deadline := time.Now().Add(cfg.Duration)
-	lat := make([][]time.Duration, cfg.Conc)
-	errs := make([]error, cfg.Conc)
+	all, elapsed, err := timedPlanPhase(post, planBody, cfg.Conc, cfg.Duration)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return rec, err
+	}
+	rec.DurationNs = elapsed.Nanoseconds()
+	rec.Requests = len(all)
+	rec.ReqPerSec = float64(len(all)) / elapsed.Seconds()
+	rec.P50Ns = all[len(all)/2].Nanoseconds()
+	rec.P99Ns = all[len(all)*99/100].Nanoseconds()
+	rec.AllocsOp = (m1.Mallocs - m0.Mallocs) / uint64(len(all))
+	rec.BytesOp = (m1.TotalAlloc - m0.TotalAlloc) / uint64(len(all))
+
+	if cfg.Sweep {
+		if err := serveSweepPhase(post, planBody, cfg, &rec); err != nil {
+			return rec, err
+		}
+	}
+	if cfg.Batch > 0 {
+		if rps, ok, err := serveBatchPhase(post, cfg, planBody); err != nil {
+			return rec, err
+		} else if ok {
+			rec.BatchSize = cfg.Batch
+			rec.BatchReqPerSec = rps
+		}
+	}
+	if cold, warm, err := serveBootPhase(cfg, planBody); err != nil {
+		return rec, err
+	} else {
+		rec.ColdBootNs = cold.Nanoseconds()
+		rec.WarmBootNs = warm.Nanoseconds()
+	}
+	return rec, nil
+}
+
+// timedPlanPhase drives conc workers against /api/plan until the
+// deadline and returns every observed latency, sorted ascending. Each
+// worker collects its own samples: the only cross-worker state is the
+// WaitGroup, so the harness itself adds no contention to the path it
+// measures.
+func timedPlanPhase(post func(string, []byte) (int, error), planBody []byte,
+	conc int, duration time.Duration) ([]time.Duration, time.Duration, error) {
+	deadline := time.Now().Add(duration)
+	lat := make([][]time.Duration, conc)
+	errs := make([]error, conc)
 	var wg sync.WaitGroup
 	t0 := time.Now()
-	for w := 0; w < cfg.Conc; w++ {
+	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -143,44 +220,161 @@ func serveBench(cfg serveConfig) (serveRecord, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
-	runtime.ReadMemStats(&m1)
 	for _, err := range errs {
 		if err != nil {
-			return rec, err
+			return nil, elapsed, err
 		}
 	}
-
 	var all []time.Duration
 	for _, l := range lat {
 		all = append(all, l...)
 	}
 	if len(all) == 0 {
-		return rec, fmt.Errorf("no plan requests completed in %s", cfg.Duration)
+		return nil, elapsed, fmt.Errorf("no plan requests completed in %s", duration)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	rec.DurationNs = elapsed.Nanoseconds()
-	rec.Requests = len(all)
-	rec.ReqPerSec = float64(len(all)) / elapsed.Seconds()
-	rec.P50Ns = all[len(all)/2].Nanoseconds()
-	rec.P99Ns = all[len(all)*99/100].Nanoseconds()
-	rec.AllocsOp = (m1.Mallocs - m0.Mallocs) / uint64(len(all))
-	rec.BytesOp = (m1.TotalAlloc - m0.TotalAlloc) / uint64(len(all))
+	return all, elapsed, nil
+}
 
-	if cfg.Batch > 0 {
-		if rps, ok, err := serveBatchPhase(post, cfg, planBody); err != nil {
-			return rec, err
-		} else if ok {
-			rec.BatchSize = cfg.Batch
-			rec.BatchReqPerSec = rps
+// serveSweepPhase reruns the timed plan phase at GOMAXPROCS 1/2/4/8
+// (2×procs clients each, so every proc always has a runnable worker)
+// with mutex and block profiling enabled, and records throughput,
+// latency, scaling efficiency and the hottest contention frames. The
+// process-wide GOMAXPROCS and profile rates are restored on return.
+func serveSweepPhase(post func(string, []byte) (int, error), planBody []byte,
+	cfg serveConfig, rec *serveRecord) error {
+	rec.NumCPU = runtime.NumCPU()
+	orig := runtime.GOMAXPROCS(0)
+	prevMutex := runtime.SetMutexProfileFraction(1)
+	runtime.SetBlockProfileRate(10_000) // sample blocking events ≥10µs
+	defer func() {
+		runtime.GOMAXPROCS(orig)
+		runtime.SetMutexProfileFraction(prevMutex)
+		runtime.SetBlockProfileRate(0)
+	}()
+
+	var base float64
+	for _, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		conc := 2 * procs
+		all, elapsed, err := timedPlanPhase(post, planBody, conc, cfg.SweepDuration)
+		if err != nil {
+			return fmt.Errorf("sweep GOMAXPROCS=%d: %w", procs, err)
 		}
+		rps := float64(len(all)) / elapsed.Seconds()
+		if procs == 1 {
+			base = rps
+		}
+		pt := sweepPoint{
+			GOMAXPROCS: procs,
+			Conc:       conc,
+			Requests:   len(all),
+			ReqPerSec:  rps,
+			P50Ns:      all[len(all)/2].Nanoseconds(),
+			P99Ns:      all[len(all)*99/100].Nanoseconds(),
+			Efficiency: rps / (base * float64(procs)),
+		}
+		if procs == 4 {
+			rec.Scaling4x = rps / base
+		}
+		rec.Sweep = append(rec.Sweep, pt)
 	}
-	if cold, warm, err := serveBootPhase(cfg, planBody); err != nil {
-		return rec, err
-	} else {
-		rec.ColdBootNs = cold.Nanoseconds()
-		rec.WarmBootNs = warm.Nanoseconds()
+	rec.MutexTop = profileTop("mutex", 5)
+	rec.BlockTop = profileTop("block", 5)
+	return nil
+}
+
+// profileTop summarizes a runtime profile ("mutex" or "block") as its
+// top n user-level frames by sample count. It parses the debug=1 text
+// form: each sample is a "cycles count @ addr..." header followed by
+// "#\taddr\tfunc+off\tfile:line" frames; the first frame outside
+// runtime/sync internals names the contention site.
+func profileTop(name string, n int) []string {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil
 	}
-	return rec, nil
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 1); err != nil {
+		return nil
+	}
+	counts := map[string]int64{}
+	var pending int64 // count of the sample block being scanned, 0 = attributed
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			pending = 0
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[2] == "@" {
+				if c, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					pending = c
+				}
+			}
+			continue
+		}
+		if pending == 0 {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		fn := fields[2]
+		if i := strings.LastIndex(fn, "+"); i > 0 {
+			fn = fn[:i]
+		}
+		if strings.HasPrefix(fn, "runtime.") || strings.HasPrefix(fn, "sync.") ||
+			strings.HasPrefix(fn, "runtime/") || strings.HasPrefix(fn, "internal/") {
+			continue
+		}
+		counts[fn] += pending
+		pending = 0
+	}
+	type entry struct {
+		fn string
+		c  int64
+	}
+	var entries []entry
+	for fn, c := range counts {
+		entries = append(entries, entry{fn, c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].c != entries[j].c {
+			return entries[i].c > entries[j].c
+		}
+		return entries[i].fn < entries[j].fn
+	})
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = fmt.Sprintf("%s n=%d", e.fn, e.c)
+	}
+	return out
+}
+
+// checkScalingGate is the multi-core CI guardrail: with the sweep
+// recorded on a ≥4-core host, 4-proc throughput must be at least min ×
+// the 1-proc figure. On smaller hosts the 4-proc point measures
+// oversubscription rather than parallelism, so the gate reports a skip
+// instead of failing — the same hardware-conditional treatment the
+// training harness gives its walker-scaling curve.
+func checkScalingGate(rec serveRecord, min float64) error {
+	if min <= 0 {
+		return nil
+	}
+	if len(rec.Sweep) == 0 {
+		return fmt.Errorf("scaling gate: record has no sweep (run with -serve-sweep)")
+	}
+	if rec.NumCPU < 4 {
+		fmt.Printf("serve: scaling gate skipped: host has %d CPU core(s), gate needs 4\n", rec.NumCPU)
+		return nil
+	}
+	if rec.Scaling4x < min {
+		return fmt.Errorf("serve scaling regression: 4-proc throughput is %.2fx 1-proc, gate requires %.2fx",
+			rec.Scaling4x, min)
+	}
+	return nil
 }
 
 // serveBootPhase measures time-to-first-plan twice over one durable

@@ -47,7 +47,7 @@
 //	           [-overlay-budget 0] [-overlay-cells 0]
 //	           [-dist-matrix-max 0] [-dense-q-max 0]
 //	           [-policy-dir dir] [-preload manifest.json]
-//	           [-drain-timeout 10s] [-pprof addr]
+//	           [-drain-timeout 10s] [-pprof addr] [-profile-contention]
 //
 // With -policy-dir the daemon keeps a durable, crash-safe policy
 // repository on disk: trained policies are written through (temp file +
@@ -68,6 +68,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -101,7 +102,19 @@ func main() {
 		"grace period for in-flight requests after SIGTERM/SIGINT")
 	pprofAddr := flag.String("pprof", "",
 		"optional address for net/http/pprof on a separate listener (e.g. localhost:6060); empty disables profiling")
+	profileContention := flag.Bool("profile-contention", false,
+		"record mutex and block profiles (served at -pprof's /debug/pprof/mutex and /debug/pprof/block); small steady-state cost, leave off unless chasing lock contention")
 	flag.Parse()
+
+	if *profileContention {
+		// Fraction 5 / 10µs threshold: coarse enough for production, fine
+		// enough that a contended lock on the plan path shows up.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(10_000)
+		if *pprofAddr == "" {
+			log.Printf("rlplannerd: -profile-contention is on but -pprof is not; profiles are recorded but unreachable")
+		}
+	}
 
 	if *pprofAddr != "" {
 		pln, err := net.Listen("tcp", *pprofAddr)

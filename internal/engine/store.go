@@ -1,9 +1,9 @@
 package engine
 
 import (
-	"container/list"
 	"context"
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 )
@@ -12,23 +12,52 @@ import (
 // configured.
 const DefaultStoreSize = 128
 
-// Store is the serving-side policy cache: a bounded LRU of immutable
-// artifacts with per-key singleflight training. Concurrent requests for
-// the same cold key share one training run; requests for different keys
-// train in parallel; cached reads never wait on any training run.
+// Shard sizing: a store is striped into power-of-two shards so
+// concurrent hits on different keys never touch the same lock, but only
+// while each shard keeps at least minShardCap slots — a CLOCK ring
+// narrower than that approximates recency too coarsely to be useful.
+// Small stores (tests, tiny deployments) therefore collapse to one
+// shard and behave like the classic single-lock cache.
+const (
+	maxStoreShards = 32
+	minShardCap    = 8
+)
+
+// storeSeed keys the shard hash. One process-wide random seed is
+// enough: shard placement only needs to be stable within a process.
+var storeSeed = maphash.MakeSeed()
+
+// Store is the serving-side policy cache: a bounded, sharded cache of
+// immutable artifacts with per-key singleflight training. Concurrent
+// requests for the same cold key share one training run; requests for
+// different keys train in parallel; cached reads never wait on any
+// training run — and, since the sharded rework, never wait on each
+// other either.
+//
+// The hot path is contention-free by construction: a cache hit takes
+// one shard's read lock (shared, never exclusive) and publishes its
+// recency with a single atomic store on the entry's CLOCK access bit.
+// No hit ever mutates shard structure — the exact MoveToFront of the
+// old LRU is replaced by CLOCK second-chance eviction, which reads the
+// access bits only when a shard needs a victim. Eviction is therefore
+// approximate-LRU: recently touched entries survive the sweep, cold
+// ones are reclaimed in ring order.
+//
+// Capacity is divided evenly across shards, so a pathological key
+// distribution can evict slightly before the global bound is reached;
+// the bound itself is never exceeded.
 //
 // Store is generic over the cached value so layers above the engine can
 // cache their own policy wrappers.
 type Store[V any] struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
-	calls   map[string]*call[V]
+	shards []storeShard[V]
+	mask   uint64
+	max    int
 
 	// tier is the optional durable second tier (AttachTier): consulted
 	// after a memory miss before training, written through after every
-	// successful run, quarantined alongside Remove.
+	// successful run, quarantined alongside Remove. Attached before
+	// serving, then read-only — see AttachTier.
 	tier Tier[V]
 
 	// hits / misses count lookup outcomes for the metrics endpoint. A
@@ -39,16 +68,35 @@ type Store[V any] struct {
 	hits, misses atomic.Uint64
 }
 
+// storeShard is one stripe of the cache: a map for lookup, a CLOCK ring
+// for eviction and the shard's slice of the singleflight call table.
+// The RWMutex is held shared on the hit path and exclusive only for
+// structure changes (insert, evict, remove, singleflight registration).
+type storeShard[V any] struct {
+	mu      sync.RWMutex
+	cap     int
+	entries map[string]*storeEntry[V]
+	ring    []*storeEntry[V] // CLOCK ring; len == live entries <= cap
+	hand    int
+	calls   map[string]*call[V]
+}
+
+// storeEntry is one cached value plus its CLOCK state. val and slot are
+// guarded by the shard lock (written under the exclusive lock, read
+// under the shared one); touched is the access bit, written by
+// concurrent readers and must therefore be atomic.
+type storeEntry[V any] struct {
+	key     string
+	val     V
+	slot    int // index in the shard ring
+	touched atomic.Bool
+}
+
 // CacheStats is a point-in-time view of a Store's lookup counters and
 // occupancy.
 type CacheStats struct {
 	Hits, Misses uint64
 	Size         int
-}
-
-type storeEntry[V any] struct {
-	key string
-	val V
 }
 
 type call[V any] struct {
@@ -63,53 +111,123 @@ func NewStore[V any](maxEntries int) *Store[V] {
 	if maxEntries <= 0 {
 		maxEntries = DefaultStoreSize
 	}
-	return &Store[V]{
-		max:     maxEntries,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
-		calls:   make(map[string]*call[V]),
+	nshards := 1
+	for nshards < maxStoreShards && maxEntries/(nshards*2) >= minShardCap {
+		nshards *= 2
 	}
+	s := &Store[V]{
+		shards: make([]storeShard[V], nshards),
+		mask:   uint64(nshards - 1),
+		max:    maxEntries,
+	}
+	per := maxEntries / nshards
+	extra := maxEntries % nshards
+	for i := range s.shards {
+		cap := per
+		if i < extra {
+			cap++
+		}
+		s.shards[i] = storeShard[V]{
+			cap:     cap,
+			entries: make(map[string]*storeEntry[V]),
+			calls:   make(map[string]*call[V]),
+		}
+	}
+	return s
 }
 
-// Cached returns the policy for key without ever blocking on training.
+// shard maps a key to its stripe.
+func (s *Store[V]) shard(key string) *storeShard[V] {
+	return &s.shards[maphash.String(storeSeed, key)&s.mask]
+}
+
+// Cached returns the policy for key without ever blocking on training —
+// or, on a hit, on any other reader or writer beyond the shard's shared
+// lock. The recency touch is one atomic store; no list moves, no
+// exclusive lock.
 func (s *Store[V]) Cached(key string) (V, bool) {
-	s.mu.Lock()
-	v, ok := s.cachedLocked(key)
-	s.mu.Unlock()
+	v, ok := s.shard(key).cached(key)
 	if ok {
 		s.hits.Add(1)
 	}
 	return v, ok
 }
 
-func (s *Store[V]) cachedLocked(key string) (V, bool) {
-	if el, ok := s.entries[key]; ok {
-		s.order.MoveToFront(el)
-		return el.Value.(*storeEntry[V]).val, true
+func (sh *storeShard[V]) cached(key string) (V, bool) {
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	if !ok {
+		sh.mu.RUnlock()
+		var zero V
+		return zero, false
 	}
-	var zero V
-	return zero, false
+	v := e.val
+	sh.mu.RUnlock()
+	// The access bit may be set after the lock is dropped: CLOCK only
+	// needs it to be eventually visible to the next eviction sweep.
+	e.touched.Store(true)
+	return v, true
 }
 
-// Add installs a policy under key (used by artifact import), evicting
-// the least recently used entry when the store is full.
+// Add installs a policy under key (used by artifact import), evicting a
+// CLOCK victim from the key's shard when that shard is full.
 func (s *Store[V]) Add(key string, v V) {
-	s.mu.Lock()
-	s.addLocked(key, v)
-	s.mu.Unlock()
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.add(key, v)
+	sh.mu.Unlock()
 }
 
-func (s *Store[V]) addLocked(key string, v V) {
-	if el, ok := s.entries[key]; ok {
-		el.Value.(*storeEntry[V]).val = v
-		s.order.MoveToFront(el)
+// add inserts or overwrites under the exclusive shard lock. New entries
+// start with a clear access bit: an entry that is never read again is
+// the next sweep's natural victim, while one Cached hit grants a full
+// second chance — the CLOCK analogue of LRU's insert-at-front.
+func (sh *storeShard[V]) add(key string, v V) {
+	if e, ok := sh.entries[key]; ok {
+		e.val = v
+		e.touched.Store(true)
 		return
 	}
-	s.entries[key] = s.order.PushFront(&storeEntry[V]{key: key, val: v})
-	for s.order.Len() > s.max {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.entries, oldest.Value.(*storeEntry[V]).key)
+	e := &storeEntry[V]{key: key, val: v}
+	if len(sh.ring) < sh.cap {
+		e.slot = len(sh.ring)
+		sh.ring = append(sh.ring, e)
+		sh.entries[key] = e
+		return
+	}
+	// Shard full: advance the hand, spending access bits, until an
+	// untouched entry turns up. Bounded: each pass clears every bit it
+	// crosses, so the sweep terminates within two revolutions.
+	for {
+		victim := sh.ring[sh.hand]
+		if victim.touched.CompareAndSwap(true, false) {
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			continue
+		}
+		delete(sh.entries, victim.key)
+		e.slot = sh.hand
+		sh.ring[sh.hand] = e
+		sh.entries[key] = e
+		sh.hand = (sh.hand + 1) % len(sh.ring)
+		return
+	}
+}
+
+// remove deletes key from the shard under the exclusive lock, closing
+// the ring by moving its last entry into the vacated slot.
+func (sh *storeShard[V]) remove(key string) {
+	e, ok := sh.entries[key]
+	if !ok {
+		return
+	}
+	delete(sh.entries, key)
+	last := len(sh.ring) - 1
+	moved := sh.ring[last]
+	sh.ring[e.slot] = moved
+	moved.slot = e.slot
+	sh.ring = sh.ring[:last]
+	if sh.hand >= len(sh.ring) {
+		sh.hand = 0
 	}
 }
 
@@ -120,17 +238,26 @@ func (s *Store[V]) addLocked(key string, v V) {
 // reports whether this call ran the training itself.
 func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, error)) (V, bool, error) {
 	var zero V
-	s.mu.Lock()
-	if v, ok := s.cachedLocked(key); ok {
-		s.mu.Unlock()
+	sh := s.shard(key)
+	if v, ok := sh.cached(key); ok {
+		s.hits.Add(1)
+		return v, false, nil
+	}
+	sh.mu.Lock()
+	// Re-check under the exclusive lock: the value may have landed
+	// between the shared-lock probe and here.
+	if e, ok := sh.entries[key]; ok {
+		v := e.val
+		sh.mu.Unlock()
+		e.touched.Store(true)
 		s.hits.Add(1)
 		return v, false, nil
 	}
 	s.misses.Add(1)
-	if c, ok := s.calls[key]; ok {
+	if c, ok := sh.calls[key]; ok {
 		// Follower: wait for the in-flight training run without holding
 		// the lock, so cached reads stay available meanwhile.
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		select {
 		case <-c.done:
 			return c.val, false, c.err
@@ -139,8 +266,8 @@ func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, 
 		}
 	}
 	c := &call[V]{done: make(chan struct{})}
-	s.calls[key] = c
-	s.mu.Unlock()
+	sh.calls[key] = c
+	sh.mu.Unlock()
 
 	// Leader: train outside the lock. The deferred cleanup also covers a
 	// panicking trainer, so followers are never stranded on done.
@@ -149,12 +276,12 @@ func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, 
 		if !finished && c.err == nil {
 			c.err = fmt.Errorf("engine: training for %q aborted", key)
 		}
-		s.mu.Lock()
-		delete(s.calls, key)
+		sh.mu.Lock()
+		delete(sh.calls, key)
 		if c.err == nil {
-			s.addLocked(key, c.val)
+			sh.add(key, c.val)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		close(c.done)
 	}()
 	c.val, c.err = s.runTrain(ctx, key, train)
@@ -170,23 +297,25 @@ func (s *Store[V]) GetOrTrain(ctx context.Context, key string, train func() (V, 
 // miss. An in-flight training call for the key is unaffected. Removing
 // an absent key is a no-op.
 func (s *Store[V]) Remove(key string) {
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.order.Remove(el)
-		delete(s.entries, key)
-	}
-	t := s.tier
-	s.mu.Unlock()
-	if t != nil {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.remove(key)
+	sh.mu.Unlock()
+	if t := s.tier; t != nil {
 		t.Quarantine(key)
 	}
 }
 
 // Len returns the number of cached policies.
 func (s *Store[V]) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.order.Len()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.ring)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats returns the store's cumulative hit/miss counters and current
@@ -195,26 +324,35 @@ func (s *Store[V]) Stats() CacheStats {
 	return CacheStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Size: s.Len()}
 }
 
-// SumBytes folds size over every cached value under the store lock —
-// the resident-memory estimate the metrics endpoint reports. size must
-// be cheap and must not call back into the store.
+// SumBytes folds size over every cached value under each shard's shared
+// lock — the resident-memory estimate the metrics endpoint reports.
+// size must be cheap and must not call back into the store.
 func (s *Store[V]) SumBytes(size func(V) int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	total := 0
-	for el := s.order.Front(); el != nil; el = el.Next() {
-		total += size(el.Value.(*storeEntry[V]).val)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.ring {
+			total += size(e.val)
+		}
+		sh.mu.RUnlock()
 	}
 	return total
 }
 
-// Keys returns the cached keys, most recently used first.
+// Keys returns the cached keys. With the sharded CLOCK layout there is
+// no global recency order to report; the order is shard-by-shard ring
+// order and callers must not assume anything beyond "every live key
+// appears exactly once".
 func (s *Store[V]) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, s.order.Len())
-	for el := s.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*storeEntry[V]).key)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.ring {
+			out = append(out, e.key)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }

@@ -1,0 +1,159 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+// TestServeHammerRace pins the sharded serving structures under the
+// race detector: concurrent plan reads (anonymous and personalized),
+// feedback posts growing and reaccounting overlays, artifact imports
+// overwriting a store entry, custom-instance uploads republishing the
+// copy-on-write snapshot, and Store.Remove yanking the hot policy out
+// from under everyone — the full multi-writer shape of the
+// contention-free read path. Every response must be a clean status;
+// the race detector does the rest.
+func TestServeHammerRace(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	const instance = "Univ-1 M.S. DS-CT"
+	planReq := func(user string) map[string]interface{} {
+		req := map[string]interface{}{
+			"instance": instance,
+			"engine":   "sarsa",
+			"episodes": 60,
+			"seed":     4,
+		}
+		if user != "" {
+			req["user"] = user
+		}
+		return req
+	}
+
+	// Warm up: train the policy once and keep its plan for feedback.
+	var base overlayPlanResp
+	if code := doJSON(t, "POST", ts.URL+"/api/plan", planReq(""), &base); code != 200 {
+		t.Fatalf("warm-up plan status %d", code)
+	}
+	var items []string
+	for _, s := range base.Steps {
+		items = append(items, s.ID)
+	}
+
+	// Export one artifact; the importer goroutine re-installs it
+	// concurrently with everything else.
+	exportBody, err := json.Marshal(planReq(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/policies/export", "application/json", bytes.NewReader(exportBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("export: status %d, err %v", resp.StatusCode, err)
+	}
+
+	hotKey := planRequest{Instance: instance, Episodes: 60, Seed: 4}.policyKey("sarsa")
+	importURL := ts.URL + "/api/policies/import?instance=" + url.QueryEscape(instance)
+
+	const iters = 12
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	fail := make(chan error, 64)
+	run := func(name string, fn func(i int) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				if err := fn(i); err != nil {
+					fail <- fmt.Errorf("%s[%d]: %w", name, i, err)
+					return
+				}
+			}
+		}()
+	}
+
+	status := func(code int, want ...int) error {
+		for _, w := range want {
+			if code == w {
+				return nil
+			}
+		}
+		return fmt.Errorf("status %d", code)
+	}
+
+	// Plan readers: anonymous and per-user (through overlay lookups).
+	for g := 0; g < 3; g++ {
+		user := ""
+		if g > 0 {
+			user = fmt.Sprintf("hammer-u%d", g)
+		}
+		run(fmt.Sprintf("plan-%d", g), func(i int) error {
+			var out overlayPlanResp
+			// 200 is the steady state; a plan racing a Remove may also
+			// surface as a degraded 200 via the fallback ladder — still 200.
+			return status(doJSON(t, "POST", ts.URL+"/api/plan", planReq(user), &out), 200)
+		})
+	}
+	// Feedback writers: overlay creation, observation, reaccounting.
+	for g := 1; g < 3; g++ {
+		user := fmt.Sprintf("hammer-u%d", g)
+		run(fmt.Sprintf("feedback-%d", g), func(i int) error {
+			fb := planReq(user)
+			fb["items"] = items
+			fb["useful"] = i%2 == 0
+			var out feedbackResponse
+			return status(doJSON(t, "POST", ts.URL+"/api/feedback", fb, &out), 200)
+		})
+	}
+	// Importer: concurrent Store.Add of a valid artifact.
+	run("import", func(i int) error {
+		resp, err := http.Post(importURL, "application/octet-stream", bytes.NewReader(artifact))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return status(resp.StatusCode, 201)
+	})
+	// Custom-instance uploads: republish the copy-on-write snapshot
+	// while plan readers resolve instances lock-free.
+	run("create-instance", func(i int) error {
+		spec := map[string]interface{}{
+			"name":   fmt.Sprintf("hammer-inst-%d", i),
+			"topics": []string{"t1", "t2"},
+			"items": []map[string]interface{}{
+				{"id": "A", "type": "primary", "credits": 1, "topics": []string{"t1"}},
+				{"id": "B", "credits": 1, "prereq": "A", "topics": []string{"t2"}},
+			},
+			"credits": 2, "primary": 1, "secondary": 1, "gap": 1,
+		}
+		return status(doJSON(t, "POST", ts.URL+"/api/instances", spec, &struct{}{}), 201)
+	})
+	// Remover: yank the hot policy; the next plan retrains through the
+	// singleflight (and invalidates overlays built on the old artifact).
+	run("remove", func(i int) error {
+		srv.policies.Remove(hotKey)
+		return nil
+	})
+
+	close(start)
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+}

@@ -14,6 +14,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -31,13 +32,20 @@ import (
 )
 
 // Server holds the HTTP state: the policy store and live interactive
-// sessions. The mutex guards only the session and custom-instance maps —
-// never a training run.
+// sessions. The mutex guards the session map and custom-instance
+// *writes* — never a training run, and never the plan path's reads:
+// the custom-instance map is published as an immutable copy-on-write
+// snapshot behind an atomic pointer, so resolving an instance on every
+// plan request is lock-free.
 type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*sessionState
-	custom   map[string]*rlplanner.Instance
-	nextID   int
+	// custom is the immutable snapshot of uploaded instances. Readers
+	// Load it and index without any lock; createInstance copies the map
+	// under mu and atomically publishes the successor. Uploads are rare,
+	// plan-path reads are millions — classic copy-on-write territory.
+	custom atomic.Pointer[map[string]*rlplanner.Instance]
+	nextID int
 
 	policies *engine.Store[*rlplanner.Policy]
 
@@ -217,12 +225,12 @@ func WithAutoDerive(enabled bool) Option {
 func New(opts ...Option) *Server {
 	s := &Server{
 		sessions:   make(map[string]*sessionState),
-		custom:     make(map[string]*rlplanner.Instance),
 		policies:   engine.NewStore[*rlplanner.Policy](0),
 		breaker:    resilience.NewBreaker(0, 0),
 		fallback:   "gold",
 		autoDerive: true,
 	}
+	s.custom.Store(&map[string]*rlplanner.Instance{})
 	for _, o := range opts {
 		o(s)
 	}
@@ -231,12 +239,12 @@ func New(opts ...Option) *Server {
 	return s
 }
 
-// instance resolves a name against custom uploads first, then built-ins.
+// instance resolves a name against custom uploads first, then
+// built-ins. Lock-free: the custom map is an immutable snapshot, so the
+// resolve every plan/feedback/batch request performs costs one atomic
+// load and a map read — no mutex on the serving read path.
 func (s *Server) instance(name string) (*rlplanner.Instance, error) {
-	s.mu.Lock()
-	in, ok := s.custom[name]
-	s.mu.Unlock()
-	if ok {
+	if in, ok := (*s.custom.Load())[name]; ok {
 		return in, nil
 	}
 	return rlplanner.InstanceByName(name)
@@ -267,21 +275,37 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// encodeBufs pools the response-encoding buffers: at tens of thousands
+// of plans per second, a fresh marshal buffer per response is a
+// measurable slice of the request's allocations and GC pressure.
+// Buffers that grew past encodeBufMax (a batch response, an instance
+// dump) are dropped instead of pooled so one large response cannot pin
+// megabytes for the rest of the process.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const encodeBufMax = 64 << 10
+
 // writeJSON writes v with the given status. The value is encoded before
 // any byte reaches the wire, so an encoding failure can still produce a
 // clean 500 instead of a torn response; write errors (client gone) are
 // logged, not dropped.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(v); err != nil { // Encode appends the trailing '\n'
+		encodeBufs.Put(buf)
 		log.Printf("httpapi: encode response: %v", err)
 		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if _, err := w.Write(append(body, '\n')); err != nil {
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("httpapi: write response: %v", err)
+	}
+	if buf.Cap() <= encodeBufMax {
+		encodeBufs.Put(buf)
 	}
 }
 
@@ -322,11 +346,9 @@ func (s *Server) listInstances(w http.ResponseWriter, _ *http.Request) {
 	for _, in := range rlplanner.Instances() {
 		out = append(out, info(in))
 	}
-	s.mu.Lock()
-	for _, in := range s.custom {
+	for _, in := range *s.custom.Load() {
 		out = append(out, info(in))
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -344,10 +366,18 @@ func (s *Server) createInstance(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("instance %q shadows a built-in", in.Name()))
 		return
 	}
+	// Copy-on-write publish: mu serializes writers, readers only ever
+	// see complete snapshots.
 	s.mu.Lock()
-	_, dup := s.custom[in.Name()]
+	old := *s.custom.Load()
+	_, dup := old[in.Name()]
 	if !dup {
-		s.custom[in.Name()] = in
+		next := make(map[string]*rlplanner.Instance, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		next[in.Name()] = in
+		s.custom.Store(&next)
 	}
 	s.mu.Unlock()
 	if dup {

@@ -10,8 +10,10 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"hash/maphash"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rlplanner/rlplanner"
 )
@@ -21,42 +23,82 @@ import (
 // users over an institution-scale catalog).
 const DefaultOverlayBudgetBytes = 64 << 20
 
+// overlayShardCount stripes the lookup map. Power of two; sixteen
+// stripes is plenty for the core counts a single daemon sees.
+const overlayShardCount = 16
+
+var overlaySeed = maphash.MakeSeed()
+
 // overlayStore is the bounded per-user overlay cache. Two levels of
 // bounding compose: each overlay caps its own cells (qtable's LRU row
 // eviction), and the store caps the fleet-wide byte total by evicting
-// whole least-recently-used (user, policy) entries.
+// whole least-recently-active (user, policy) entries.
+//
+// The structure is split along the read/write boundary of the serving
+// path. The *lookup* map — hit by every personalized plan request — is
+// striped into shards, each behind an RWMutex held shared on reads; a
+// plan-path hit records recency with one atomic store on the entry's
+// access bit and takes no global lock at all. The *accounting* state
+// (write-recency list, byte total, distinct-user counts) lives behind
+// one mutex that only the write path touches: feedback posts, byte
+// reaccounting, eviction. Eviction order is CLOCK-over-LRU: the list
+// tracks feedback recency exactly, and a victim whose access bit shows
+// plan-path reads since the last sweep is granted a second chance
+// instead of being evicted — so plan-active users survive without the
+// plan path ever queueing on the accounting lock.
 type overlayStore struct {
-	mu       sync.Mutex
+	shards   [overlayShardCount]overlayShard
 	maxBytes int
 	cells    int // per-overlay cell cap (0 = qtable default)
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
-	bytes    int
-	users    map[string]int // user id → live entry count
-	evicted  uint64
+
+	// mu guards the write-side accounting below: the recency list, the
+	// byte total, the per-user entry counts and the eviction counter.
+	// Never taken by the plan-path lookup.
+	mu      sync.Mutex
+	order   *list.List // front = most recent feedback write
+	bytes   int
+	users   map[string]int // user id → live entry count
+	evicted uint64
+}
+
+// overlayShard is one stripe of the lookup map.
+type overlayShard struct {
+	mu      sync.RWMutex
+	entries map[string]*overlayEntry
 }
 
 // overlayEntry is one user's overlay for one policy. Its mutex
-// serializes that user's requests (overlays are single-writer); the
-// store lock is never held across a recommendation walk.
+// serializes that user's requests (overlays are single-writer); neither
+// the store's accounting lock nor a shard lock is ever held across a
+// recommendation walk.
 type overlayEntry struct {
 	key, user string
 	mu        sync.Mutex
 	ov        *rlplanner.Overlay
-	bytes     int // last size accounted into the store total
+	// touched is the CLOCK access bit: set (one atomic store) by every
+	// plan-path lookup, spent by the eviction sweep for a second chance.
+	touched atomic.Bool
+	// bytes, elem and gone are guarded by the store's accounting mutex.
+	// gone marks an entry evicted or dropped; sticky once set.
+	bytes int
+	elem  *list.Element
+	gone  bool
 }
 
 func newOverlayStore(maxBytes, cells int) *overlayStore {
 	if maxBytes <= 0 {
 		maxBytes = DefaultOverlayBudgetBytes
 	}
-	return &overlayStore{
+	st := &overlayStore{
 		maxBytes: maxBytes,
 		cells:    cells,
-		entries:  make(map[string]*list.Element),
 		order:    list.New(),
 		users:    make(map[string]int),
 	}
+	for i := range st.shards {
+		st.shards[i].entries = make(map[string]*overlayEntry)
+	}
+	return st
 }
 
 // overlayKey scopes a user's personalization to one policy artifact:
@@ -64,67 +106,122 @@ func newOverlayStore(maxBytes, cells int) *overlayStore {
 // one, and retrained policies (different options key) start clean.
 func overlayKey(user, policyKey string) string { return user + "\x00" + policyKey }
 
+func (st *overlayStore) shard(key string) *overlayShard {
+	return &st.shards[maphash.String(overlaySeed, key)&(overlayShardCount-1)]
+}
+
 // lookup returns the user's overlay entry for the policy, nil when none
 // exists — the plan path, which must never create overlays (a user who
-// has given no feedback serves the base, allocation-free).
+// has given no feedback serves the base, allocation-free). A hit costs
+// one shard read-lock and one atomic store; concurrent plan requests
+// for different users never serialize here.
 func (st *overlayStore) lookup(user, policyKey string) *overlayEntry {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	el, ok := st.entries[overlayKey(user, policyKey)]
-	if !ok {
-		return nil
+	key := overlayKey(user, policyKey)
+	sh := st.shard(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		e.touched.Store(true)
 	}
-	st.order.MoveToFront(el)
-	return el.Value.(*overlayEntry)
+	return e
 }
 
 // getOrCreate returns the user's overlay entry, building one with make
-// on first feedback. make runs under the store lock — it only wraps the
-// already-trained policy's base reader, so it is cheap and cannot
-// recurse into the store.
+// on first feedback. This is the write path: it may take the accounting
+// lock (to refresh feedback recency) and a shard's exclusive lock (to
+// install a new entry), but never both at once — the lock order is
+// strictly "one at a time", with identity checks and the sticky gone
+// flag resolving the races in between.
 func (st *overlayStore) getOrCreate(user, policyKey string, make func(cells int) (*rlplanner.Overlay, error)) (*overlayEntry, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	key := overlayKey(user, policyKey)
-	if el, ok := st.entries[key]; ok {
-		st.order.MoveToFront(el)
-		return el.Value.(*overlayEntry), nil
+	sh := st.shard(key)
+	for {
+		sh.mu.RLock()
+		e := sh.entries[key]
+		sh.mu.RUnlock()
+		if e != nil {
+			st.mu.Lock()
+			if !e.gone && e.elem != nil {
+				st.order.MoveToFront(e.elem)
+				st.mu.Unlock()
+				return e, nil
+			}
+			mid := !e.gone // mid-construction: creator has not linked elem yet
+			st.mu.Unlock()
+			if mid {
+				continue // about to become live; retry the fast path
+			}
+			// e was evicted or dropped: fall through and replace it.
+		}
+		ov, err := make(st.cells)
+		if err != nil {
+			return nil, err
+		}
+		ne := &overlayEntry{key: key, user: user, ov: ov}
+		sh.mu.Lock()
+		if cur := sh.entries[key]; cur != e {
+			// Another creator won the install race; loop to adopt theirs.
+			sh.mu.Unlock()
+			continue
+		}
+		sh.entries[key] = ne
+		sh.mu.Unlock()
+		st.mu.Lock()
+		ne.elem = st.order.PushFront(ne)
+		st.users[user]++
+		st.mu.Unlock()
+		return ne, nil
 	}
-	ov, err := make(st.cells)
-	if err != nil {
-		return nil, err
-	}
-	e := &overlayEntry{key: key, user: user, ov: ov}
-	st.entries[key] = st.order.PushFront(e)
-	st.users[user]++
-	return e, nil
 }
 
 // reaccount refreshes the entry's byte charge after a mutation and
-// evicts least-recently-used entries while the store exceeds its byte
-// budget. The just-touched entry is never evicted. Callers must NOT
-// hold e.mu — size is read from the entry's last record, refreshed by
-// the caller via e.bytes while it held the entry lock.
+// evicts entries while the store exceeds its byte budget. Victims come
+// off the cold end of the feedback-recency list, but an entry whose
+// CLOCK bit shows plan reads since the last sweep is moved back to the
+// warm end (its bit spent) instead of evicted. The just-touched entry
+// is never evicted. Callers must NOT hold e.mu.
 func (st *overlayStore) reaccount(e *overlayEntry, newBytes int) {
+	var victims []*overlayEntry
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, live := st.entries[e.key]; live {
+	if !e.gone {
 		st.bytes += newBytes - e.bytes
 		e.bytes = newBytes
 	}
+	// The sweep budget bounds second chances: plan traffic setting bits
+	// concurrently must not be able to livelock the evictor.
+	budget := 2 * st.order.Len()
 	for st.bytes > st.maxBytes && st.order.Len() > 1 {
 		el := st.order.Back()
 		victim := el.Value.(*overlayEntry)
 		if victim == e {
 			break
 		}
+		if budget > 0 && victim.touched.CompareAndSwap(true, false) {
+			st.order.MoveToFront(el)
+			budget--
+			continue
+		}
+		victim.gone = true
 		st.order.Remove(el)
-		delete(st.entries, victim.key)
 		st.bytes -= victim.bytes
 		st.evicted++
 		if st.users[victim.user]--; st.users[victim.user] <= 0 {
 			delete(st.users, victim.user)
 		}
+		victims = append(victims, victim)
+	}
+	st.mu.Unlock()
+	// Unlink victims from their shards outside the accounting lock (the
+	// lock order forbids holding both). The identity check keeps a
+	// freshly re-created entry under the same key safe.
+	for _, v := range victims {
+		sh := st.shard(v.key)
+		sh.mu.Lock()
+		if sh.entries[v.key] == v {
+			delete(sh.entries, v.key)
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -133,17 +230,23 @@ func (st *overlayStore) reaccount(e *overlayEntry, newBytes int) {
 // replaced.
 func (st *overlayStore) drop(e *overlayEntry) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	el, ok := st.entries[e.key]
-	if !ok || el.Value.(*overlayEntry) != e {
+	if e.gone || e.elem == nil {
+		st.mu.Unlock()
 		return
 	}
-	st.order.Remove(el)
-	delete(st.entries, e.key)
+	e.gone = true
+	st.order.Remove(e.elem)
 	st.bytes -= e.bytes
 	if st.users[e.user]--; st.users[e.user] <= 0 {
 		delete(st.users, e.user)
 	}
+	st.mu.Unlock()
+	sh := st.shard(e.key)
+	sh.mu.Lock()
+	if sh.entries[e.key] == e {
+		delete(sh.entries, e.key)
+	}
+	sh.mu.Unlock()
 }
 
 // stats reports (distinct users, entries, estimated bytes, evictions).
